@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the canonical-form algebra — the kernel
+//! every SSTA operation reduces to (Section II of the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssta_core::CanonicalForm;
+
+fn forms(n_locals: usize) -> (CanonicalForm, CanonicalForm) {
+    let a = CanonicalForm::from_parts(
+        100.0,
+        vec![1.5, 0.4, 0.3, 1.1],
+        (0..n_locals).map(|i| ((i * 7919) % 13) as f64 * 0.05).collect(),
+        0.8,
+    )
+    .expect("finite");
+    let b = CanonicalForm::from_parts(
+        101.0,
+        vec![1.1, 0.5, 0.2, 1.3],
+        (0..n_locals).map(|i| ((i * 104729) % 11) as f64 * 0.06).collect(),
+        1.0,
+    )
+    .expect("finite");
+    (a, b)
+}
+
+fn bench_canonical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical");
+    for &n in &[36usize, 144, 576] {
+        let (a, b) = forms(n);
+        group.bench_function(format!("sum/{n}_locals"), |bench| {
+            bench.iter(|| black_box(&a).sum(black_box(&b)))
+        });
+        group.bench_function(format!("max/{n}_locals"), |bench| {
+            bench.iter(|| black_box(&a).maximum(black_box(&b)))
+        });
+        group.bench_function(format!("covariance/{n}_locals"), |bench| {
+            bench.iter(|| black_box(&a).covariance(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_canonical
+}
+criterion_main!(benches);

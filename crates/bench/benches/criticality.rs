@@ -1,0 +1,37 @@
+//! Criterion benchmark of the all-pairs edge-criticality engine (the
+//! dominant extraction cost; Fig. 6's underlying computation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssta_bench::characterize;
+use ssta_core::criticality::{edge_criticalities, CriticalityOptions};
+
+fn bench_criticality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criticality");
+    group.sample_size(10);
+    for name in ["c432", "c499"] {
+        let ctx = characterize(name);
+        group.bench_function(format!("{name}/all_pairs"), |b| {
+            b.iter(|| {
+                edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
+                    .expect("criticality")
+            })
+        });
+        group.bench_function(format!("{name}/single_thread"), |b| {
+            b.iter(|| {
+                edge_criticalities(
+                    ctx.graph(),
+                    &ctx.zero(),
+                    &CriticalityOptions {
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+                .expect("criticality")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_criticality);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark of full timing-model extraction (Table I's `T`
+//! column): criticality, pruning, repair and merging on small benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssta_bench::characterize;
+use ssta_core::ExtractOptions;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let ctx = characterize(name);
+        group.bench_function(name, |b| {
+            b.iter(|| ctx.extract_model(&ExtractOptions::default()).expect("extract"))
+        });
+        // Print a Table-I-style line once per circuit for reference.
+        let model = ctx.extract_model(&ExtractOptions::default()).expect("extract");
+        let s = model.stats();
+        println!(
+            "[table1-style] {name}: Eo={} Vo={} Em={} Vm={} pe={:.0}% pv={:.0}%",
+            s.original_edges,
+            s.original_vertices,
+            s.model_edges,
+            s.model_vertices,
+            100.0 * s.edge_ratio(),
+            100.0 * s.vertex_ratio()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

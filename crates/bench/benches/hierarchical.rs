@@ -1,0 +1,36 @@
+//! Criterion benchmark of the Fig. 7 flow at reduced scale: design-level
+//! analysis in both correlation modes versus flattened Monte Carlo — the
+//! speedup that motivates hierarchical SSTA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssta_bench::four_multiplier_design;
+use ssta_core::{analyze, CorrelationMode};
+use ssta_mc::McOptions;
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let design = four_multiplier_design(6);
+    let mut group = c.benchmark_group("hierarchical");
+    group.sample_size(10);
+    group.bench_function("analyze/proposed", |b| {
+        b.iter(|| analyze(&design, CorrelationMode::Proposed).expect("analysis"))
+    });
+    group.bench_function("analyze/global_only", |b| {
+        b.iter(|| analyze(&design, CorrelationMode::GlobalOnly).expect("analysis"))
+    });
+    group.bench_function("flattened_mc/500_samples", |b| {
+        b.iter(|| {
+            ssta_mc::flat_design_delay(
+                &design,
+                &McOptions {
+                    samples: 500,
+                    ..Default::default()
+                },
+            )
+            .expect("MC")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchical);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation B: sweep of the spatial-grid resolution.
+//!
+//! The paper partitions so a grid holds < 100 cells. Finer grids track
+//! spatial correlation better but multiply PCA components (and thus every
+//! canonical-form operation); coarser grids are cheaper but smear local
+//! correlation. This sweep measures components, characterization and
+//! extraction runtime, and model accuracy vs a fixed MC reference.
+//!
+//! `SSTA_BENCHMARKS` (default `c3540`) selects the circuit.
+
+use ssta_bench::{mc_samples, pct2};
+use ssta_core::{ExtractOptions, ModuleContext, SstaConfig};
+use ssta_mc::McOptions;
+use ssta_netlist::generators::iscas85;
+
+fn main() {
+    let name = std::env::var("SSTA_BENCHMARKS").unwrap_or_else(|_| "c3540".into());
+    let name = name.split(',').next().expect("non-empty").trim().to_owned();
+    let samples = mc_samples().min(4000);
+    println!("ablation: grid-resolution sweep on {name} (MC samples = {samples})");
+    println!(
+        "{:>10} {:>7} {:>11} {:>10} {:>10} {:>8} {:>8}",
+        "grid cells", "grids", "components", "char(s)", "extract(s)", "merr", "verr"
+    );
+
+    for &side in &[20usize, 14, 10, 7, 5] {
+        let mut config = SstaConfig::paper();
+        config.grid_side_cells = side;
+        let netlist = iscas85(&name).expect("benchmark");
+        let t0 = std::time::Instant::now();
+        let ctx = ModuleContext::characterize(netlist, &config).expect("characterize");
+        let char_s = t0.elapsed().as_secs_f64();
+
+        let t1 = std::time::Instant::now();
+        let model = ctx.extract_model(&ExtractOptions::default()).expect("extract");
+        let extract_s = t1.elapsed().as_secs_f64();
+
+        let mc = ssta_mc::module_delay_matrix(
+            &ctx,
+            &McOptions {
+                samples,
+                ..Default::default()
+            },
+        )
+        .expect("module MC");
+        let err = ssta_mc::model_vs_mc(&model.delay_matrix().expect("matrix"), &mc);
+
+        println!(
+            "{:>7}x{:<2} {:>7} {:>11} {:>10.2} {:>10.2} {:>8} {:>8}",
+            side,
+            side,
+            ctx.geometry().n_grids(),
+            ctx.layout().n_locals(),
+            char_s,
+            extract_s,
+            pct2(err.merr),
+            pct2(err.verr)
+        );
+    }
+}

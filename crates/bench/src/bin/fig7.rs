@@ -1,0 +1,82 @@
+//! Regenerates Fig. 7 of the paper: delay CDFs of the hierarchical
+//! four-multiplier design, comparing
+//!
+//! * the proposed method (independent-variable replacement),
+//! * the global-correlation-only baseline,
+//! * Monte Carlo of the flattened original netlist.
+//!
+//! `SSTA_MUL_WIDTH` (default 16 = c6288) scales the multiplier;
+//! `SSTA_MC_SAMPLES` (default 10000) the MC effort.
+
+use ssta_bench::{analyze_both, four_multiplier_design, mc_samples, multiplier_width};
+use ssta_mc::compare::{cdf_comparison, ks_against_form};
+use ssta_mc::McOptions;
+
+fn main() {
+    let width = multiplier_width();
+    let samples = mc_samples();
+    println!("Fig. 7: hierarchical timing analysis of 4 x mul{width}x{width} (cross-connected, abutted)");
+    println!("building and extracting the multiplier timing model...");
+    let design = four_multiplier_design(width);
+
+    let (proposed, global) = analyze_both(&design);
+    println!(
+        "proposed:     mean {:8.1} ps  sigma {:7.1} ps  ({} local components, {:.2}s)",
+        proposed.delay.mean(),
+        proposed.delay.std_dev(),
+        proposed.n_local_components,
+        proposed.elapsed_seconds
+    );
+    println!(
+        "global-only:  mean {:8.1} ps  sigma {:7.1} ps  ({} local components, {:.2}s)",
+        global.delay.mean(),
+        global.delay.std_dev(),
+        global.n_local_components,
+        global.elapsed_seconds
+    );
+
+    println!("running flattened Monte Carlo ({samples} samples)...");
+    let started = std::time::Instant::now();
+    let mc = ssta_mc::flat_design_delay(
+        &design,
+        &McOptions {
+            samples,
+            ..Default::default()
+        },
+    )
+    .expect("flattened MC");
+    let mc_seconds = started.elapsed().as_secs_f64();
+    println!(
+        "Monte Carlo:  mean {:8.1} ps  sigma {:7.1} ps  ({:.2}s)",
+        mc.mean(),
+        mc.std_dev(),
+        mc_seconds
+    );
+
+    println!("\nnormalized delay CDFs (the paper's Fig. 7 curves):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14}",
+        "delay(ps)", "normalized", "Monte Carlo", "proposed", "global-only"
+    );
+    for row in cdf_comparison(&mc, [&proposed.delay, &global.delay], 21) {
+        println!(
+            "{:>10.1} {:>10.2} {:>12.3} {:>12.3} {:>14.3}",
+            row.delay, row.normalized, row.mc, row.analytic[0], row.analytic[1]
+        );
+    }
+
+    let ks_prop = ks_against_form(&mc, &proposed.delay);
+    let ks_glob = ks_against_form(&mc, &global.delay);
+    println!("\nKS distance to Monte Carlo: proposed {ks_prop:.4}, global-only {ks_glob:.4}");
+    println!(
+        "sigma ratio vs MC:          proposed {:.3}, global-only {:.3}",
+        proposed.delay.std_dev() / mc.std_dev(),
+        global.delay.std_dev() / mc.std_dev()
+    );
+    println!(
+        "speedup vs flattened MC:    {:.0}x (hierarchical analysis {:.3}s vs MC {:.2}s)",
+        mc_seconds / proposed.elapsed_seconds,
+        proposed.elapsed_seconds,
+        mc_seconds
+    );
+}

@@ -1,0 +1,86 @@
+//! Regenerates Table I of the paper: timing-model extraction results for
+//! the ten ISCAS85-calibrated circuits — sizes, compression ratios,
+//! model-vs-Monte-Carlo accuracy, and extraction runtime.
+//!
+//! Paper reference values are printed alongside for direct comparison.
+//! `SSTA_MC_SAMPLES` (default 10000) controls the MC effort;
+//! `SSTA_BENCHMARKS=c432,c880` restricts the circuit set.
+
+use ssta_bench::{mc_samples, pct, pct2, selected_benchmarks, table1_row, PAPER_TABLE1};
+
+fn main() {
+    let samples = mc_samples();
+    let names = selected_benchmarks();
+    println!("Table I: results of timing model extraction (MC samples = {samples})");
+    println!(
+        "{:<7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>7} {:>7} {:>8}   | paper: {:>4} {:>4} {:>5} {:>5} {:>6} {:>6}",
+        "circuit", "Eo", "Vo", "Em", "Vm", "pe", "pv", "merr", "verr", "T(s)", "Em", "Vm", "pe", "pv", "merr", "verr"
+    );
+
+    let mut sum_pe = 0.0;
+    let mut sum_pv = 0.0;
+    let mut sum_merr = 0.0;
+    let mut sum_verr = 0.0;
+    let mut count = 0;
+    for name in &names {
+        let row = table1_row(name, samples);
+        let paper = PAPER_TABLE1.iter().find(|p| p.0 == *name);
+        let (pem, pvm, ppe, ppv, pmerr, pverr) = paper.map_or(
+            ("-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
+            |&(_, eo, vo, em, vm, me, ve)| {
+                (
+                    em.to_string(),
+                    vm.to_string(),
+                    pct(em as f64 / eo as f64),
+                    pct(vm as f64 / vo as f64),
+                    pct2(me),
+                    pct2(ve),
+                )
+            },
+        );
+        println!(
+            "{:<7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>7} {:>7} {:>8.2}   |        {:>4} {:>4} {:>5} {:>5} {:>6} {:>6}",
+            row.name,
+            row.eo,
+            row.vo,
+            row.em,
+            row.vm,
+            pct(row.pe),
+            pct(row.pv),
+            pct2(row.merr),
+            pct2(row.verr),
+            row.t_seconds,
+            pem,
+            pvm,
+            ppe,
+            ppv,
+            pmerr,
+            pverr,
+        );
+        sum_pe += row.pe;
+        sum_pv += row.pv;
+        sum_merr += row.merr;
+        sum_verr += row.verr;
+        count += 1;
+    }
+    if count > 0 {
+        let n = count as f64;
+        println!(
+            "{:<7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>7} {:>7} {:>8}   |                    {:>5} {:>5} {:>6} {:>6}",
+            "average",
+            "",
+            "",
+            "",
+            "",
+            pct(sum_pe / n),
+            pct(sum_pv / n),
+            pct2(sum_merr / n),
+            pct2(sum_verr / n),
+            "",
+            "20%",
+            "19%",
+            "0.59%",
+            "1.06%",
+        );
+    }
+}

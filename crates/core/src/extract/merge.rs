@@ -1,0 +1,271 @@
+//! Serial and parallel merge operations (Section IV-A, Figs. 1–2).
+//!
+//! Both operations preserve the input/output delay matrix exactly (up to
+//! the `max` approximation already inherent in SSTA):
+//!
+//! * **parallel merge** — edges sharing source and sink collapse into one
+//!   edge carrying the statistical max of their delays;
+//! * **serial merge** — an internal vertex with a single fan-in edge
+//!   (or symmetrically a single fan-out edge) is bypassed: its other-side
+//!   edges are re-sourced across it with summed delays, and the vertex is
+//!   removed.
+//!
+//! Applied to fixpoint, these implement the graph-reduction style of
+//! Kobayashi/Malik (TCAD'97) and Moon et al. (DAC'02) that the paper
+//! adopts.
+
+use crate::canonical::CanonicalForm;
+use ssta_timing::{EdgeId, TimingGraph, VertexId};
+use std::collections::HashMap;
+
+/// Counters describing one reduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Vertices removed by serial merges.
+    pub serial_merges: usize,
+    /// Edge groups collapsed by parallel merges.
+    pub parallel_merges: usize,
+}
+
+/// Reduces the graph in place until no merge applies (or the round budget
+/// is exhausted). Input and output vertices are never merged away.
+pub fn reduce(graph: &mut TimingGraph<CanonicalForm>, max_rounds: usize) -> MergeStats {
+    let mut stats = MergeStats::default();
+    for _ in 0..max_rounds {
+        let parallel = parallel_merge_pass(graph);
+        let serial = serial_merge_pass(graph);
+        stats.parallel_merges += parallel;
+        stats.serial_merges += serial;
+        stats.rounds += 1;
+        if parallel == 0 && serial == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Collapses every group of parallel edges into a single max edge.
+/// Returns the number of groups collapsed.
+fn parallel_merge_pass(graph: &mut TimingGraph<CanonicalForm>) -> usize {
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    let mut merged = 0;
+    for v in vertices {
+        // Group live out-edges by sink.
+        let mut groups: HashMap<VertexId, Vec<EdgeId>> = HashMap::new();
+        for e in graph.out_edges(v) {
+            groups.entry(graph.edge(e).to).or_default().push(e);
+        }
+        for (to, edges) in groups {
+            if edges.len() < 2 {
+                continue;
+            }
+            let mut delay = graph.edge(edges[0]).delay.clone();
+            for &e in &edges[1..] {
+                delay = delay.maximum(&graph.edge(e).delay);
+            }
+            for e in edges {
+                graph.remove_edge(e);
+            }
+            graph.add_edge(v, to, delay);
+            merged += 1;
+        }
+    }
+    merged
+}
+
+/// Bypasses internal vertices with a single fan-in (forward direction of
+/// Fig. 1) or a single fan-out (reverse direction). Returns the number of
+/// vertices removed.
+fn serial_merge_pass(graph: &mut TimingGraph<CanonicalForm>) -> usize {
+    let candidates: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| !is_port(graph, v))
+        .collect();
+    let mut removed = 0;
+    for v in candidates {
+        if !graph.is_alive(v) {
+            continue;
+        }
+        let indeg = graph.in_degree(v);
+        let outdeg = graph.out_degree(v);
+        if indeg == 0 || outdeg == 0 {
+            // Dead-end vertex (can appear mid-reduction): drop its edges
+            // and the vertex. It cannot contribute to any I/O path.
+            let incident: Vec<EdgeId> = graph.in_edges(v).chain(graph.out_edges(v)).collect();
+            for e in incident {
+                graph.remove_edge(e);
+            }
+            graph.remove_vertex(v);
+            removed += 1;
+            continue;
+        }
+        if indeg == 1 {
+            let e_in = graph.in_edges(v).next().expect("indeg 1");
+            let (u, d_in) = {
+                let e = graph.edge(e_in);
+                (e.from, e.delay.clone())
+            };
+            if u == v {
+                continue; // self-loop would be a cycle; topo order forbids it
+            }
+            let outs: Vec<EdgeId> = graph.out_edges(v).collect();
+            for e in outs {
+                let (w, d) = {
+                    let edge = graph.edge(e);
+                    (edge.to, edge.delay.clone())
+                };
+                graph.add_edge(u, w, d_in.sum(&d));
+                graph.remove_edge(e);
+            }
+            graph.remove_edge(e_in);
+            graph.remove_vertex(v);
+            removed += 1;
+        } else if outdeg == 1 {
+            let e_out = graph.out_edges(v).next().expect("outdeg 1");
+            let (w, d_out) = {
+                let e = graph.edge(e_out);
+                (e.to, e.delay.clone())
+            };
+            if w == v {
+                continue;
+            }
+            let ins: Vec<EdgeId> = graph.in_edges(v).collect();
+            for e in ins {
+                let (u, d) = {
+                    let edge = graph.edge(e);
+                    (edge.from, edge.delay.clone())
+                };
+                graph.add_edge(u, w, d.sum(&d_out));
+                graph.remove_edge(e);
+            }
+            graph.remove_edge(e_out);
+            graph.remove_vertex(v);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+fn is_port(graph: &TimingGraph<CanonicalForm>, v: VertexId) -> bool {
+    matches!(graph.kind(v), ssta_timing::VertexKind::Input(_)) || graph.is_output(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssta_timing::allpairs;
+
+    fn constant(x: f64) -> CanonicalForm {
+        CanonicalForm::constant(x, 1, 2)
+    }
+
+    fn zero() -> CanonicalForm {
+        constant(0.0)
+    }
+
+    #[test]
+    fn parallel_edges_collapse_to_max() {
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, o, constant(3.0));
+        g.add_edge(i, o, constant(7.0));
+        g.add_edge(i, o, constant(5.0));
+        let stats = reduce(&mut g, 8);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(stats.parallel_merges, 1);
+        let m = allpairs::delay_matrix(&g, zero).unwrap();
+        assert_eq!(m.get(0, 0).unwrap().mean(), 7.0);
+    }
+
+    #[test]
+    fn serial_chain_collapses_to_single_edge() {
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, a, constant(1.0));
+        g.add_edge(a, b, constant(2.0));
+        g.add_edge(b, o, constant(3.0));
+        let stats = reduce(&mut g, 8);
+        assert_eq!(g.n_vertices(), 2, "only ports remain");
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(stats.serial_merges, 2);
+        let m = allpairs::delay_matrix(&g, zero).unwrap();
+        assert_eq!(m.get(0, 0).unwrap().mean(), 6.0);
+    }
+
+    #[test]
+    fn diamond_reduces_but_keeps_delay_matrix() {
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, a, constant(1.0));
+        g.add_edge(i, b, constant(2.0));
+        g.add_edge(a, o, constant(3.0));
+        g.add_edge(b, o, constant(1.0));
+        let before = allpairs::delay_matrix(&g, zero).unwrap();
+        reduce(&mut g, 16);
+        let after = allpairs::delay_matrix(&g, zero).unwrap();
+        let (worst, mismatched) = before.compare_with(&after, |d| d.mean());
+        assert_eq!(mismatched, 0);
+        assert!(worst < 1e-12);
+        // Fully reducible: a and b both have in-degree 1.
+        assert_eq!(g.n_vertices(), 2);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn ports_are_never_merged() {
+        // input -> output directly with a mid vertex that is an output.
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let mid = g.add_vertex();
+        let o = g.add_vertex();
+        g.mark_output(mid); // mid is an output port AND fans out
+        g.mark_output(o);
+        g.add_edge(i, mid, constant(1.0));
+        g.add_edge(mid, o, constant(2.0));
+        reduce(&mut g, 8);
+        assert!(g.is_alive(mid), "output vertex must survive");
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn dead_end_vertices_are_cleaned_up() {
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let stub = g.add_vertex(); // no outgoing edges -> dead end
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, stub, constant(1.0));
+        g.add_edge(i, o, constant(2.0));
+        reduce(&mut g, 8);
+        assert!(!g.is_alive(stub));
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn statistical_parallel_merge_uses_clark() {
+        let mut g: TimingGraph<CanonicalForm> = TimingGraph::new();
+        let i = g.add_input();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        let a = CanonicalForm::from_parts(10.0, vec![1.0], vec![0.0, 0.0], 1.0).unwrap();
+        let b = CanonicalForm::from_parts(10.0, vec![0.0], vec![1.0, 0.0], 1.0).unwrap();
+        let expect = a.maximum(&b);
+        g.add_edge(i, o, a);
+        g.add_edge(i, o, b);
+        reduce(&mut g, 4);
+        let (_, e) = g.edges_iter().next().unwrap();
+        assert_eq!(e.delay, expect);
+    }
+}

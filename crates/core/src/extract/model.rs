@@ -1,0 +1,247 @@
+//! The extracted gray-box statistical timing model.
+//!
+//! This is the artifact an IP vendor would ship instead of a netlist: a
+//! compressed timing graph with the same ports and (statistically) the
+//! same input/output delay matrix, plus the spatial metadata — grid
+//! geometry and PCA bases — that the hierarchical variable-replacement
+//! step needs to re-correlate the model inside a larger design. The whole
+//! structure is serializable (`serde`), which the `ip_model_handoff`
+//! example exercises end to end.
+
+use crate::canonical::CanonicalForm;
+use crate::module::ModuleContext;
+use crate::params::{SstaConfig, VariableLayout};
+use crate::spatial::GridGeometry;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use ssta_math::PcaBasis;
+use ssta_timing::{allpairs, DelayMatrix, TimingGraph};
+
+/// Size/effort accounting of one extraction run — the raw material of the
+/// paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionStats {
+    /// Edges in the original timing graph (`Eo`).
+    pub original_edges: usize,
+    /// Vertices in the original timing graph (`Vo`).
+    pub original_vertices: usize,
+    /// Edges dropped by the criticality threshold.
+    pub edges_pruned: usize,
+    /// Input/output pairs whose nominal path had to be restored.
+    pub restored_paths: usize,
+    /// Input/output pairs re-admitted by the accuracy-repair extension.
+    pub repaired_pairs: usize,
+    /// Merge fixpoint rounds.
+    pub merge_rounds: usize,
+    /// Vertices removed by serial merges.
+    pub serial_merges: usize,
+    /// Edge groups collapsed by parallel merges.
+    pub parallel_merges: usize,
+    /// Edges in the extracted model (`Em`).
+    pub model_edges: usize,
+    /// Vertices in the extracted model (`Vm`).
+    pub model_vertices: usize,
+    /// Wall-clock extraction time (`T` in Table I).
+    pub extraction_seconds: f64,
+}
+
+impl ExtractionStats {
+    /// Edge compression ratio `pe = Em / Eo`.
+    pub fn edge_ratio(&self) -> f64 {
+        self.model_edges as f64 / self.original_edges.max(1) as f64
+    }
+
+    /// Vertex compression ratio `pv = Vm / Vo`.
+    pub fn vertex_ratio(&self) -> f64 {
+        self.model_vertices as f64 / self.original_vertices.max(1) as f64
+    }
+}
+
+/// A pre-characterized statistical timing model of a combinational module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingModel {
+    name: String,
+    graph: TimingGraph<CanonicalForm>,
+    geometry: GridGeometry,
+    layout: VariableLayout,
+    pca: Vec<PcaBasis>,
+    config: SstaConfig,
+    stats: ExtractionStats,
+}
+
+impl TimingModel {
+    pub(crate) fn new(
+        ctx: &ModuleContext,
+        graph: TimingGraph<CanonicalForm>,
+        stats: ExtractionStats,
+    ) -> Self {
+        TimingModel {
+            name: ctx.netlist().name().to_owned(),
+            graph,
+            geometry: ctx.geometry(),
+            layout: ctx.layout().clone(),
+            pca: ctx.pca().iter().map(|p| (**p).clone()).collect(),
+            config: ctx.config().clone(),
+            stats,
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compressed timing graph.
+    pub fn graph(&self) -> &TimingGraph<CanonicalForm> {
+        &self.graph
+    }
+
+    /// Number of input ports.
+    pub fn n_inputs(&self) -> usize {
+        self.graph.inputs().len()
+    }
+
+    /// Number of output ports.
+    pub fn n_outputs(&self) -> usize {
+        self.graph.outputs().len()
+    }
+
+    /// Edges in the model (`Em`).
+    pub fn edge_count(&self) -> usize {
+        self.graph.n_edges()
+    }
+
+    /// Vertices in the model (`Vm`).
+    pub fn vertex_count(&self) -> usize {
+        self.graph.n_vertices()
+    }
+
+    /// Extraction accounting.
+    pub fn stats(&self) -> &ExtractionStats {
+        &self.stats
+    }
+
+    /// The module's grid partition (module-local coordinates).
+    pub fn geometry(&self) -> GridGeometry {
+        self.geometry
+    }
+
+    /// The module's independent-variable layout.
+    pub fn layout(&self) -> &VariableLayout {
+        &self.layout
+    }
+
+    /// Per-parameter PCA bases from characterization.
+    pub fn pca(&self) -> &[PcaBasis] {
+        &self.pca
+    }
+
+    /// The configuration the model was characterized under.
+    pub fn config(&self) -> &SstaConfig {
+        &self.config
+    }
+
+    /// A zero-delay constant in the model's variable space.
+    pub fn zero(&self) -> CanonicalForm {
+        CanonicalForm::constant(0.0, self.config.parameters.len(), self.layout.n_locals())
+    }
+
+    /// The model's statistical input/output delay matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (cannot occur for extracted models).
+    pub fn delay_matrix(&self) -> Result<DelayMatrix<CanonicalForm>, CoreError> {
+        Ok(allpairs::delay_matrix(&self.graph, || self.zero())?)
+    }
+
+    /// Checks that this model was characterized compatibly with `config`
+    /// (same parameters, correlation model and grid pitch) so it can be
+    /// embedded in a design analyzed under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] describing the first mismatch.
+    pub fn check_compatible(&self, config: &SstaConfig) -> Result<(), CoreError> {
+        if self.config.parameters != config.parameters {
+            return Err(CoreError::Incompatible {
+                reason: format!("model `{}` uses different process parameters", self.name),
+            });
+        }
+        if self.config.correlation != config.correlation {
+            return Err(CoreError::Incompatible {
+                reason: format!("model `{}` uses a different correlation model", self.name),
+            });
+        }
+        if (self.config.grid_pitch_um() - config.grid_pitch_um()).abs() > 1e-9 {
+            return Err(CoreError::Incompatible {
+                reason: format!("model `{}` uses a different grid pitch", self.name),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, ExtractOptions};
+    use crate::params::SstaConfig;
+    use ssta_netlist::generators;
+
+    fn model() -> TimingModel {
+        let n = generators::ripple_carry_adder(6).unwrap();
+        let ctx = ModuleContext::characterize(n, &SstaConfig::paper()).unwrap();
+        extract(&ctx, &ExtractOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ratios_are_consistent_with_counts() {
+        let m = model();
+        let s = m.stats();
+        assert_eq!(s.model_edges, m.edge_count());
+        assert_eq!(s.model_vertices, m.vertex_count());
+        assert!((s.edge_ratio() - s.model_edges as f64 / s.original_edges as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_model() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TimingModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.edge_count(), m.edge_count());
+        assert_eq!(back.n_inputs(), m.n_inputs());
+        // The delay matrices agree entry by entry.
+        let a = m.delay_matrix().unwrap();
+        let b = back.delay_matrix().unwrap();
+        let (worst, mismatched) = a.compare_with(&b, |d| d.mean());
+        assert_eq!(mismatched, 0);
+        assert!(worst < 1e-12);
+    }
+
+    #[test]
+    fn compatibility_check_accepts_own_config() {
+        let m = model();
+        m.check_compatible(&SstaConfig::paper()).unwrap();
+    }
+
+    #[test]
+    fn compatibility_check_rejects_other_correlation() {
+        let m = model();
+        let mut other = SstaConfig::paper();
+        other.correlation.cutoff_grids = 5.0;
+        assert!(matches!(
+            m.check_compatible(&other),
+            Err(CoreError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn compatibility_check_rejects_other_pitch() {
+        let m = model();
+        let mut other = SstaConfig::paper();
+        other.grid_side_cells = 5;
+        assert!(m.check_compatible(&other).is_err());
+    }
+}

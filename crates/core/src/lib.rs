@@ -1,0 +1,60 @@
+//! Hierarchical statistical static timing analysis — the core of the
+//! DATE 2009 paper by Li, Chen, Schmidt, Schneider and Schlichtmann.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`CanonicalForm`] — the first-order Gaussian delay form with exact
+//!   `sum` and Clark moment-matched `max` (Section II);
+//! * [`spatial`] / [`SstaConfig`] — the grid-based spatial-correlation
+//!   model and the paper's process-variation configuration (Section II/VI);
+//! * [`ModuleContext`] — module characterization: placement, grid
+//!   partition, per-parameter PCA, and the statistical timing graph;
+//! * [`criticality`] — all-pairs edge criticality (Section IV-B);
+//! * [`extract`] — gray-box timing-model extraction: criticality pruning
+//!   plus serial/parallel merges (Section IV), producing a serializable
+//!   [`TimingModel`];
+//! * [`hier`] — hierarchical design analysis with heterogeneous grids and
+//!   independent-variable replacement (Section V);
+//! * [`yield_analysis`] — delay-yield utilities.
+//!
+//! # Example: extract a timing model and inspect its compression
+//!
+//! ```
+//! use ssta_core::{ExtractOptions, ModuleContext, SstaConfig};
+//! use ssta_netlist::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = generators::ripple_carry_adder(8)?;
+//! let ctx = ModuleContext::characterize(netlist, &SstaConfig::paper())?;
+//! let model = ctx.extract_model(&ExtractOptions::default())?;
+//! println!(
+//!     "compressed {} -> {} edges",
+//!     model.stats().original_edges,
+//!     model.edge_count()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canonical;
+mod error;
+mod module;
+mod params;
+
+pub mod criticality;
+pub mod extract;
+pub mod hier;
+pub mod spatial;
+pub mod yield_analysis;
+
+pub use canonical::CanonicalForm;
+pub use criticality::CriticalityOptions;
+pub use error::CoreError;
+pub use extract::{ExtractOptions, ExtractionStats, TimingModel};
+pub use hier::{analyze, CorrelationMode, Design, DesignBuilder, DesignTiming};
+pub use module::ModuleContext;
+pub use params::{ParameterSpec, SstaConfig, VariableLayout};
+pub use spatial::{CorrelationModel, GridGeometry};

@@ -1,0 +1,130 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used to validate covariance matrices produced by the spatial-correlation
+//! model and (in tests and Monte Carlo) to sample correlated Gaussian
+//! vectors: if `A = L·Lᵀ` and `z ~ N(0, I)` then `L·z ~ N(0, A)`.
+
+use crate::{Matrix, MathError};
+
+/// Computes the lower-triangular Cholesky factor `L` with `L·Lᵀ = a`.
+///
+/// # Errors
+///
+/// * [`MathError::NotSymmetric`] if `a` is not symmetric within `1e-8`
+///   relative to its largest diagonal entry.
+/// * [`MathError::NotPositiveDefinite`] if a pivot becomes non-positive.
+///
+/// # Example
+///
+/// ```
+/// use ssta_math::{cholesky, Matrix};
+///
+/// # fn main() -> Result<(), ssta_math::MathError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let l = cholesky::factor(&a)?;
+/// let reconstructed = l.matmul(&l.transposed())?;
+/// assert!(reconstructed.max_abs_diff(&a)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn factor(a: &Matrix) -> Result<Matrix, MathError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MathError::DimensionMismatch {
+            context: "cholesky::factor",
+            expected: (n, n),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
+    let asym = a.max_asymmetry();
+    if asym > 1e-8 * scale {
+        return Err(MathError::NotSymmetric { max_asymmetry: asym });
+    }
+
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MathError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Returns `true` when `a` is symmetric positive definite (factorizable).
+pub fn is_positive_definite(a: &Matrix) -> bool {
+    factor(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_3x3() -> Matrix {
+        // B·Bᵀ for a full-rank B is SPD.
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 1.5]])
+            .unwrap();
+        b.matmul(&b.transposed()).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd_3x3();
+        let l = factor(&a).unwrap();
+        let back = l.matmul(&l.transposed()).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let l = factor(&spd_3x3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            factor(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+        assert!(!is_positive_definite(&a));
+    }
+
+    #[test]
+    fn rejects_asymmetric_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(factor(&a), Err(MathError::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            factor(&a),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_factors_to_itself() {
+        let i = Matrix::identity(4);
+        let l = factor(&i).unwrap();
+        assert!(l.max_abs_diff(&i).unwrap() < 1e-15);
+    }
+}

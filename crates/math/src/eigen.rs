@@ -1,0 +1,263 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! SSTA covariance matrices are symmetric with one row per spatial grid;
+//! a few hundred rows at most. The Jacobi method is numerically robust
+//! (it never loses symmetry), needs no external dependencies, and converges
+//! quadratically once the off-diagonal mass is small — a good match for this
+//! problem class even though it is O(n³) per sweep.
+
+use crate::{Matrix, MathError};
+
+/// The result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix *columns*, in the same order as
+    /// [`eigenvalues`](Self::eigenvalues).
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up. Convergence is
+/// typically reached in 6–12 sweeps even for n in the hundreds.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] for non-square input.
+/// * [`MathError::NotSymmetric`] if `a` deviates from symmetry by more than
+///   `1e-8` relative to its largest diagonal entry.
+/// * [`MathError::EigenNoConvergence`] if the sweep budget is exhausted
+///   (practically unreachable for well-formed covariance matrices).
+///
+/// # Example
+///
+/// ```
+/// use ssta_math::{eigen, Matrix};
+///
+/// # fn main() -> Result<(), ssta_math::MathError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let decomp = eigen::symmetric_eigen(&a)?;
+/// assert!((decomp.eigenvalues[0] - 3.0).abs() < 1e-12);
+/// assert!((decomp.eigenvalues[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MathError::DimensionMismatch {
+            context: "symmetric_eigen",
+            expected: (n, n),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
+    let asym = a.max_asymmetry();
+    if asym > 1e-8 * scale {
+        return Err(MathError::NotSymmetric { max_asymmetry: asym });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-14 * scale.max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= tol * n as f64 {
+            return Ok(collect(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation: choose t = tan(θ) so that the
+                // rotated (p, q) entry vanishes.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                rotate(&mut m, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+    }
+
+    let off = off_diagonal_norm(&m);
+    if off <= 1e-9 * scale * n as f64 {
+        // Converged well enough for covariance work even if the strict
+        // tolerance was not met.
+        return Ok(collect(m, v));
+    }
+    Err(MathError::EigenNoConvergence {
+        off_diagonal_norm: off,
+    })
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    sum.sqrt()
+}
+
+/// Applies the two-sided Jacobi rotation `Jᵀ M J` in place, where `J` is the
+/// Givens rotation in the (p, q) plane.
+fn rotate(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    for k in 0..n {
+        if k == p || k == q {
+            continue;
+        }
+        let akp = m[(k, p)];
+        let akq = m[(k, q)];
+        m[(k, p)] = c * akp - s * akq;
+        m[(p, k)] = m[(k, p)];
+        m[(k, q)] = s * akp + c * akq;
+        m[(q, k)] = m[(k, q)];
+    }
+}
+
+/// Applies the rotation to the eigenvector accumulator columns p and q.
+fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+/// Sorts by descending eigenvalue and packages the result.
+fn collect(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let n = e.eigenvalues.len();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.eigenvalues[i];
+        }
+        e.eigenvectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.eigenvectors.transposed())
+            .unwrap()
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        // A covariance-like matrix: exponential decay off the diagonal.
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 4.0).exp()
+        });
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(reconstruct(&e).max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e
+            .eigenvectors
+            .transposed()
+            .matmul(&e.eigenvectors)
+            .unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn positive_semidefinite_covariance_has_nonnegative_spectrum() {
+        // Exponential-decay correlation on a 4x4 grid of points (16 vars).
+        let pts: Vec<(f64, f64)> = (0..16).map(|k| ((k % 4) as f64, (k / 4) as f64)).collect();
+        let a = Matrix::from_fn(16, 16, |i, j| {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            (-(dx * dx + dy * dy).sqrt() / 3.0).exp()
+        });
+        let e = symmetric_eigen(&a).unwrap();
+        for &lam in &e.eigenvalues {
+            assert!(lam > -1e-10, "negative eigenvalue {lam}");
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(MathError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[7.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![7.0]);
+        assert_eq!(e.eigenvectors[(0, 0)].abs(), 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Linear-algebra and Gaussian-statistics substrate for hierarchical SSTA.
+//!
+//! This crate provides the numerical foundation used by the statistical
+//! static timing analysis engine in `ssta-core`:
+//!
+//! * [`Matrix`] — a small dense row-major matrix with the operations needed
+//!   for covariance handling (products, transposes, sub-matrices).
+//! * [`cholesky`] — Cholesky factorization, used to validate covariance
+//!   matrices and to sample correlated Gaussians in tests.
+//! * [`eigen`] — a cyclic Jacobi eigensolver for symmetric matrices; the
+//!   problem sizes in SSTA (one variable per spatial grid, at most a few
+//!   hundred) make Jacobi both robust and fast enough.
+//! * [`pca`] — principal component analysis built on the eigensolver,
+//!   producing the `correlated = T·z` transform (with unit-variance `z`)
+//!   and its whitening inverse that the variable-replacement step of
+//!   hierarchical SSTA needs.
+//! * [`gaussian`] — the standard normal pdf/cdf/quantile and Clark's
+//!   moment-matching formulas for `max` of two jointly Gaussian variables
+//!   (Clark, Operations Research 1961), the computational kernel of
+//!   block-based SSTA.
+//! * [`stats`] — streaming summaries, histograms, empirical distributions
+//!   and Kolmogorov–Smirnov distances used to compare analytical SSTA
+//!   results against Monte Carlo ground truth.
+//! * [`rng`] — seedable standard-normal sampling helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use ssta_math::{Matrix, PcaBasis, PcaOptions};
+//!
+//! # fn main() -> Result<(), ssta_math::MathError> {
+//! // A 2x2 covariance matrix with correlation 0.8.
+//! let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]])?;
+//! let pca = PcaBasis::from_covariance(&cov, PcaOptions::default())?;
+//! // The PCA transform reconstructs the covariance: T Tᵀ = C.
+//! let reconstructed = pca.transform().matmul(&pca.transform().transposed())?;
+//! assert!(reconstructed.max_abs_diff(&cov)? < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod cholesky;
+pub mod eigen;
+pub mod gaussian;
+pub mod pca;
+pub mod rng;
+pub mod stats;
+
+pub use error::MathError;
+pub use gaussian::{clark_max, normal_cdf, normal_pdf, normal_quantile, MaxMoments};
+pub use matrix::Matrix;
+pub use pca::{PcaBasis, PcaOptions};
+pub use stats::{EmpiricalDist, Histogram, Summary};

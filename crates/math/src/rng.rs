@@ -1,0 +1,113 @@
+//! Seedable standard-normal sampling.
+//!
+//! `rand` 0.8 ships only the uniform distributions by default; the normal
+//! distribution lives in the separate `rand_distr` crate. Monte Carlo needs
+//! exactly one non-uniform distribution — N(0, 1) — so we implement the
+//! Marsaglia polar method here rather than pull in another dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A standard-normal sampler caching the spare variate of the polar method.
+///
+/// # Example
+///
+/// ```
+/// use ssta_math::rng::NormalSampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut normal = NormalSampler::new();
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws one N(0, 1) variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Fills a slice with independent N(0, 1) variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+/// Creates the deterministically seeded RNG used across the workspace.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = seeded_rng(7);
+        let mut normal = NormalSampler::new();
+        let s: Summary = (0..200_000).map(|_| normal.sample(&mut rng)).collect();
+        assert!(s.mean().abs() < 0.01, "mean = {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.02, "var = {}", s.variance());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = |seed| {
+            let mut rng = seeded_rng(seed);
+            let mut n = NormalSampler::new();
+            (0..10).map(|_| n.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(123), draw(123));
+        assert_ne!(draw(123), draw(124));
+    }
+
+    #[test]
+    fn fill_covers_whole_slice() {
+        let mut rng = seeded_rng(1);
+        let mut n = NormalSampler::new();
+        let mut buf = [0.0; 33];
+        n.fill(&mut rng, &mut buf);
+        assert!(buf.iter().all(|x| x.is_finite()));
+        // Astronomically unlikely that any variate is exactly 0.
+        assert!(buf.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn tail_fractions_are_plausible() {
+        let mut rng = seeded_rng(99);
+        let mut normal = NormalSampler::new();
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| normal.sample(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // True value is ~0.0455.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Error metrics comparing analytical SSTA against Monte Carlo.
+//!
+//! The paper's Table I reports `merr` and `verr`: the maximum relative
+//! error of the timing model's per-pair mean and standard deviation
+//! against Monte Carlo of the original netlist. Fig. 7 compares delay CDF
+//! curves. This module computes both.
+
+use crate::module_mc::PairStats;
+use ssta_core::CanonicalForm;
+use ssta_math::EmpiricalDist;
+use ssta_timing::DelayMatrix;
+
+/// The paper's model-accuracy metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelError {
+    /// `max |m_model − m_MC| / m_MC` over all connected pairs.
+    pub merr: f64,
+    /// `max |σ_model − σ_MC| / σ_MC` over all connected pairs.
+    pub verr: f64,
+    /// Pairs connected in one source but not the other (should be 0).
+    pub connectivity_mismatches: usize,
+}
+
+/// Computes `merr`/`verr` of an analytical delay matrix against MC pair
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn model_vs_mc(matrix: &DelayMatrix<CanonicalForm>, mc: &PairStats) -> ModelError {
+    assert_eq!(matrix.n_inputs(), mc.n_inputs(), "shape mismatch");
+    assert_eq!(matrix.n_outputs(), mc.n_outputs(), "shape mismatch");
+    let mut merr = 0.0f64;
+    let mut verr = 0.0f64;
+    let mut mismatches = 0;
+    for i in 0..matrix.n_inputs() {
+        for j in 0..matrix.n_outputs() {
+            match (matrix.get(i, j), mc.pair(i, j).count() > 0) {
+                (Some(d), true) => {
+                    let s = mc.pair(i, j);
+                    merr = merr.max((d.mean() - s.mean()).abs() / s.mean());
+                    if s.std_dev() > 0.0 {
+                        verr = verr.max((d.std_dev() - s.std_dev()).abs() / s.std_dev());
+                    }
+                }
+                (None, false) => {}
+                _ => mismatches += 1,
+            }
+        }
+    }
+    ModelError {
+        merr,
+        verr,
+        connectivity_mismatches: mismatches,
+    }
+}
+
+/// One row of a Fig. 7-style CDF comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfRow {
+    /// Absolute delay (ps).
+    pub delay: f64,
+    /// Delay normalized to the plotted range `[0, 1]`.
+    pub normalized: f64,
+    /// Monte Carlo empirical CDF.
+    pub mc: f64,
+    /// Analytical CDFs, in caller order (e.g. proposed, global-only).
+    pub analytic: [f64; 2],
+}
+
+/// Samples the MC empirical CDF and two analytical Gaussian CDFs on a
+/// common normalized axis spanning all three distributions — the data
+/// behind the paper's Fig. 7.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn cdf_comparison(
+    mc: &EmpiricalDist,
+    analytic: [&CanonicalForm; 2],
+    points: usize,
+) -> Vec<CdfRow> {
+    assert!(points >= 2, "need at least two points");
+    let lo = mc
+        .min()
+        .min(analytic[0].quantile(0.001))
+        .min(analytic[1].quantile(0.001));
+    let hi = mc
+        .max()
+        .max(analytic[0].quantile(0.999))
+        .max(analytic[1].quantile(0.999));
+    (0..points)
+        .map(|k| {
+            let t = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+            CdfRow {
+                delay: t,
+                normalized: (t - lo) / (hi - lo),
+                mc: mc.cdf(t),
+                analytic: [analytic[0].cdf(t), analytic[1].cdf(t)],
+            }
+        })
+        .collect()
+}
+
+/// Kolmogorov–Smirnov distance between an empirical distribution and the
+/// Gaussian implied by a canonical form — a single-number accuracy score
+/// for Fig. 7-style comparisons.
+pub fn ks_against_form(mc: &EmpiricalDist, form: &CanonicalForm) -> f64 {
+    mc.ks_against(|x| form.cdf(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module_mc::module_delay_matrix;
+    use crate::McOptions;
+    use ssta_core::{ModuleContext, SstaConfig};
+    use ssta_netlist::generators;
+
+    #[test]
+    fn analytic_matrix_has_small_error_vs_mc() {
+        let n = generators::ripple_carry_adder(3).unwrap();
+        let ctx = ModuleContext::characterize(n, &SstaConfig::paper()).unwrap();
+        let matrix = ctx.delay_matrix().unwrap();
+        let mc = module_delay_matrix(
+            &ctx,
+            &McOptions {
+                samples: 4000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = model_vs_mc(&matrix, &mc);
+        assert_eq!(err.connectivity_mismatches, 0);
+        assert!(err.merr < 0.03, "merr {}", err.merr);
+        assert!(err.verr < 0.15, "verr {}", err.verr);
+    }
+
+    #[test]
+    fn cdf_comparison_is_monotone_and_normalized() {
+        let form = CanonicalForm::from_parts(100.0, vec![5.0], vec![], 1.0).unwrap();
+        let samples: Vec<f64> = (0..500)
+            .map(|i| 100.0 + 5.0 * ssta_math::normal_quantile((i as f64 + 0.5) / 500.0))
+            .collect();
+        let mc = EmpiricalDist::from_samples(samples);
+        let rows = cdf_comparison(&mc, [&form, &form], 21);
+        assert_eq!(rows.len(), 21);
+        assert_eq!(rows[0].normalized, 0.0);
+        assert_eq!(rows[20].normalized, 1.0);
+        for w in rows.windows(2) {
+            assert!(w[1].mc >= w[0].mc);
+            assert!(w[1].analytic[0] >= w[0].analytic[0]);
+        }
+        // The quasi-MC sample tracks its own Gaussian closely.
+        assert!(ks_against_form(&mc, &form) < 0.01);
+    }
+}

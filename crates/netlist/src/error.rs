@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced when building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with a fan-in count different from its cell arity.
+    ArityMismatch {
+        /// Name of the offending cell type.
+        cell: String,
+        /// The arity the cell type declares.
+        expected: usize,
+        /// The number of input signals supplied.
+        found: usize,
+    },
+    /// A cell type name was not found in the library.
+    UnknownCell {
+        /// The requested cell name.
+        name: String,
+    },
+    /// A signal refers to a gate or input that does not exist.
+    InvalidSignal {
+        /// Description of where the dangling reference was found.
+        context: String,
+    },
+    /// A gate drives nothing: it has no fanout and no primary output.
+    DanglingGate {
+        /// Index of the dangling gate.
+        gate: usize,
+    },
+    /// A primary input is not connected to anything.
+    UnusedInput {
+        /// Index of the unused primary input.
+        input: usize,
+    },
+    /// The netlist has no primary outputs (or no gates at all).
+    Empty,
+    /// A generator was asked for an unsupported configuration.
+    InvalidGeneratorConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell `{cell}` expects {expected} inputs, got {found}"
+            ),
+            NetlistError::UnknownCell { name } => write!(f, "unknown cell type `{name}`"),
+            NetlistError::InvalidSignal { context } => {
+                write!(f, "invalid signal reference: {context}")
+            }
+            NetlistError::DanglingGate { gate } => {
+                write!(f, "gate {gate} has no fanout and drives no primary output")
+            }
+            NetlistError::UnusedInput { input } => {
+                write!(f, "primary input {input} is unused")
+            }
+            NetlistError::Empty => write!(f, "netlist has no gates or no primary outputs"),
+            NetlistError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cell_name() {
+        let e = NetlistError::ArityMismatch {
+            cell: "NAND2".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("NAND2"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<NetlistError>();
+    }
+}

@@ -1,0 +1,533 @@
+//! Calibrated random layered DAG generator.
+//!
+//! The ISCAS85 netlists themselves are not available offline, but the
+//! paper's Table I pins down each circuit's timing-graph size exactly
+//! (`Vo = gates + primary inputs`, `Eo = Σ gate fan-ins`). This generator
+//! produces a random combinational circuit with *exactly* the requested
+//! number of inputs, outputs, gates and pin connections, and a target
+//! logic depth — so the reproduced Table I starts from the same `Eo`/`Vo`
+//! columns as the paper.
+//!
+//! Construction sketch:
+//!
+//! 1. distribute gates over `depth` layers (middle-heavy profile);
+//! 2. give every gate a first input from the previous layer (this chains
+//!    layers together and fixes the logic depth) and draw the remaining
+//!    fan-in from earlier layers with a locality bias;
+//! 3. steer each gate's fan-in so the total pin count lands exactly on
+//!    `pin_connections`;
+//! 4. attach unused primary inputs by rewiring spare pins;
+//! 5. convert dangling gates into primary outputs, attaching any surplus
+//!    back into later layers.
+
+use crate::library::{library_90nm, CellTypeId, Library};
+use crate::{Netlist, NetlistError, Signal};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Target shape for [`generate_layered`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredSpec {
+    /// Netlist name.
+    pub name: String,
+    /// Exact number of primary inputs (all will be used).
+    pub n_inputs: usize,
+    /// Exact number of primary outputs.
+    pub n_outputs: usize,
+    /// Exact number of gates.
+    pub n_gates: usize,
+    /// Exact total fan-in pin count (the paper's `Eo`).
+    pub pin_connections: usize,
+    /// Target logic depth in gate levels.
+    pub depth: usize,
+    /// RNG seed; the same spec and seed reproduce the same netlist.
+    pub seed: u64,
+}
+
+impl LayeredSpec {
+    fn validate(&self) -> Result<(), NetlistError> {
+        let fail = |reason: String| Err(NetlistError::InvalidGeneratorConfig { reason });
+        if self.n_inputs == 0 || self.n_outputs == 0 || self.n_gates == 0 {
+            return fail("inputs, outputs and gates must all be positive".into());
+        }
+        if self.depth == 0 || self.depth > self.n_gates {
+            return fail(format!(
+                "depth {} must be in 1..={} (gate count)",
+                self.depth, self.n_gates
+            ));
+        }
+        if self.n_outputs > self.n_gates {
+            return fail("more outputs than gates".into());
+        }
+        if self.pin_connections < self.n_gates || self.pin_connections > 4 * self.n_gates {
+            return fail(format!(
+                "pin count {} outside feasible band [{}, {}]",
+                self.pin_connections,
+                self.n_gates,
+                4 * self.n_gates
+            ));
+        }
+        // Every input must find a distinct pin somewhere.
+        if self.pin_connections < self.n_inputs {
+            return fail("fewer pins than primary inputs".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-arity cell choices with NAND/NOR-heavy weights (typical of mapped
+/// ISCAS85 netlists).
+struct CellPalette {
+    by_arity: [Vec<(CellTypeId, u32)>; 4],
+}
+
+impl CellPalette {
+    fn new(lib: &Library) -> Self {
+        let weight = |name: &str| -> u32 {
+            match name {
+                "INV" => 6,
+                "BUF" => 1,
+                "NAND2" | "NOR2" => 6,
+                "NAND3" | "NOR3" => 4,
+                "NAND4" | "NOR4" => 3,
+                "AND2" | "OR2" => 2,
+                "XOR2" | "XNOR2" => 2,
+                _ => 1,
+            }
+        };
+        let mut by_arity: [Vec<(CellTypeId, u32)>; 4] = Default::default();
+        for (id, cell) in lib.iter() {
+            by_arity[cell.arity() - 1].push((id, weight(cell.name())));
+        }
+        CellPalette { by_arity }
+    }
+
+    fn pick(&self, arity: usize, rng: &mut StdRng) -> CellTypeId {
+        let pool = &self.by_arity[arity - 1];
+        let total: u32 = pool.iter().map(|&(_, w)| w).sum();
+        let mut roll = rng.gen_range(0..total);
+        for &(id, w) in pool {
+            if roll < w {
+                return id;
+            }
+            roll -= w;
+        }
+        pool.last().expect("non-empty palette").0
+    }
+}
+
+/// Generates a netlist matching `spec` exactly (inputs, outputs, gates and
+/// pin connections; depth approximately).
+///
+/// Generation is randomized; a draw can occasionally paint itself into a
+/// corner (a dangling gate that no later pin can absorb). Such draws are
+/// detected by validation and retried with a derived seed — still fully
+/// deterministic for a given `spec.seed`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] for infeasible specs
+/// or when no valid netlist is found within the retry budget.
+pub fn generate_layered(spec: &LayeredSpec) -> Result<Netlist, NetlistError> {
+    spec.validate()?;
+    let mut last_err = None;
+    for attempt in 0..16u64 {
+        match generate_attempt(spec, spec.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9))) {
+            Ok(netlist) => return Ok(netlist),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+fn generate_attempt(spec: &LayeredSpec, seed: u64) -> Result<Netlist, NetlistError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5557_4153_5354_4121);
+    let lib = Arc::new(library_90nm());
+    let palette = CellPalette::new(&lib);
+
+    let layer_sizes = distribute_layers(spec, &mut rng);
+    debug_assert_eq!(layer_sizes.iter().sum::<usize>(), spec.n_gates);
+
+    let mut b = Netlist::builder(spec.name.clone(), Arc::clone(&lib), spec.n_inputs);
+
+    // signals_by_layer[0] = primary inputs; layer l gates live at index l+1.
+    let mut signals_by_layer: Vec<Vec<Signal>> =
+        vec![(0..spec.n_inputs as u32).map(Signal::Input).collect()];
+    // Gates in the previous layer that nobody consumes yet.
+    let mut gate_layer: Vec<usize> = Vec::with_capacity(spec.n_gates);
+
+    let mut remaining_pins = spec.pin_connections;
+    let mut remaining_gates = spec.n_gates;
+    let mut fanout = vec![0usize; spec.n_inputs + spec.n_gates];
+
+    for (l, &size) in layer_sizes.iter().enumerate() {
+        // Previous-layer signals that still need a consumer, shuffled.
+        let mut hungry: Vec<Signal> = signals_by_layer[l]
+            .iter()
+            .copied()
+            .filter(|&s| fanout[flat_index(spec, s)] == 0)
+            .collect();
+        hungry.shuffle(&mut rng);
+
+        let mut this_layer = Vec::with_capacity(size);
+        for _ in 0..size {
+            // Feasible fan-in window so the running pin budget stays exact.
+            let f_min = remaining_pins
+                .saturating_sub(4 * (remaining_gates - 1))
+                .max(1);
+            let f_max = (remaining_pins - (remaining_gates - 1)).min(4);
+            debug_assert!(f_min <= f_max, "infeasible pin window");
+            let ideal = remaining_pins as f64 / remaining_gates as f64;
+            let jitter = rng.gen_range(-0.75..0.75);
+            let f = ((ideal + jitter).round() as usize).clamp(f_min, f_max);
+
+            // First input: previous layer, preferring unconsumed signals.
+            let first = hungry.pop().unwrap_or_else(|| {
+                *signals_by_layer[l]
+                    .choose(&mut rng)
+                    .expect("layer never empty")
+            });
+            let mut inputs = vec![first];
+            for _ in 1..f {
+                // Half the time, feed a signal that still has no consumer
+                // (from any earlier layer); this keeps dangling gates rare.
+                let starving: Option<Signal> = if rng.gen_bool(0.5) {
+                    signals_by_layer[..=l]
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .filter(|&s| {
+                            matches!(s, Signal::Gate(_)) && fanout[flat_index(spec, s)] == 0
+                        })
+                        .nth(0)
+                } else {
+                    None
+                };
+                inputs.push(starving.unwrap_or_else(|| {
+                    pick_earlier_signal(&signals_by_layer, l, &mut rng)
+                }));
+            }
+
+            let cell = palette.pick(f, &mut rng);
+            let sig = b.add_gate(cell, &inputs).expect("validated construction");
+            for &s in &inputs {
+                fanout[flat_index(spec, s)] += 1;
+            }
+            this_layer.push(sig);
+            gate_layer.push(l);
+            remaining_pins -= f;
+            remaining_gates -= 1;
+        }
+        signals_by_layer.push(this_layer);
+    }
+    debug_assert_eq!(remaining_pins, 0);
+
+    attach_unused_inputs(spec, &mut b, &mut fanout, &gate_layer, &mut rng)?;
+    let outputs = select_outputs(spec, &mut b, &mut fanout, &gate_layer, &mut rng);
+    for s in outputs {
+        b.add_output(s)?;
+    }
+
+    let netlist = b.finish()?;
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+fn flat_index(spec: &LayeredSpec, s: Signal) -> usize {
+    match s {
+        Signal::Input(i) => i as usize,
+        Signal::Gate(g) => spec.n_inputs + g as usize,
+    }
+}
+
+/// Middle-heavy layer profile: real circuits fan out from the inputs,
+/// bulge in the middle and converge toward the outputs.
+fn distribute_layers(spec: &LayeredSpec, rng: &mut StdRng) -> Vec<usize> {
+    let d = spec.depth;
+    let weights: Vec<f64> = (0..d)
+        .map(|l| {
+            let x = (l as f64 + 0.5) / d as f64;
+            1.0 + 2.0 * (std::f64::consts::PI * x).sin() + rng.gen_range(0.0..0.5)
+        })
+        .collect();
+    // The last layer is capped by the output count so all its gates can
+    // become primary outputs.
+    let total_w: f64 = weights.iter().sum();
+    let spare = spec.n_gates - d; // one gate per layer is reserved
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| 1 + (spare as f64 * w / total_w) as usize)
+        .collect();
+    // Fix rounding drift.
+    let mut assigned: usize = sizes.iter().sum();
+    while assigned < spec.n_gates {
+        let i = rng.gen_range(0..d);
+        sizes[i] += 1;
+        assigned += 1;
+    }
+    while assigned > spec.n_gates {
+        let i = rng.gen_range(0..d);
+        if sizes[i] > 1 {
+            sizes[i] -= 1;
+            assigned -= 1;
+        }
+    }
+    // Enforce the last-layer cap, shifting overflow to the middle.
+    let cap = spec.n_outputs.max(1);
+    if sizes[d - 1] > cap {
+        let overflow = sizes[d - 1] - cap;
+        sizes[d - 1] = cap;
+        for _ in 0..overflow {
+            let i = if d > 1 { rng.gen_range(0..d - 1) } else { 0 };
+            sizes[i] += 1;
+        }
+    }
+    sizes
+}
+
+/// Draws a signal from layers `0..=l` (0 = primary inputs) with a bias
+/// toward recent layers — mimicking the locality of synthesized logic.
+fn pick_earlier_signal(layers: &[Vec<Signal>], l: usize, rng: &mut StdRng) -> Signal {
+    // Geometric walk back from the previous layer.
+    let mut idx = l as i64;
+    while idx > 0 && rng.gen_bool(0.45) {
+        idx -= 1;
+    }
+    let layer = &layers[idx as usize];
+    *layer.choose(rng).expect("layers are non-empty")
+}
+
+/// Rewires spare pins so every primary input is consumed at least once.
+fn attach_unused_inputs(
+    spec: &LayeredSpec,
+    b: &mut crate::NetlistBuilder,
+    fanout: &mut [usize],
+    gate_layer: &[usize],
+    rng: &mut StdRng,
+) -> Result<(), NetlistError> {
+    let unused: Vec<u32> = (0..spec.n_inputs as u32)
+        .filter(|&i| fanout[i as usize] == 0)
+        .collect();
+    if unused.is_empty() {
+        return Ok(());
+    }
+    // Visit gates in random order; each donates at most one spare pin
+    // (a non-first pin whose current source can afford to lose a fanout).
+    let mut candidates: Vec<usize> = (0..gate_layer.len()).collect();
+    candidates.shuffle(rng);
+
+    let mut queue = unused.into_iter();
+    let mut current = queue.next();
+    for g in candidates {
+        let Some(pi) = current else { return Ok(()) };
+        let pins = b.gate_arity(g);
+        if pins < 2 {
+            continue;
+        }
+        let pin = 1 + rng.gen_range(0..pins - 1);
+        let old = b.gate_input(g, pin);
+        let old_idx = flat_index(spec, old);
+        if fanout[old_idx] < 2 {
+            continue; // would orphan the old source
+        }
+        b.rewire_input(g, pin, Signal::Input(pi))?;
+        fanout[old_idx] -= 1;
+        fanout[pi as usize] += 1;
+        current = queue.next();
+    }
+    if current.is_some() {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "could not attach all primary inputs (pin budget too tight)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Picks exactly `n_outputs` primary-output drivers: all dangling gates
+/// first (attaching any surplus into later layers), topped up with gates
+/// from the deepest layers.
+fn select_outputs(
+    spec: &LayeredSpec,
+    b: &mut crate::NetlistBuilder,
+    fanout: &mut [usize],
+    gate_layer: &[usize],
+    rng: &mut StdRng,
+) -> Vec<Signal> {
+    let n_gates = gate_layer.len();
+    let last_layer = *gate_layer.last().expect("gates exist");
+
+    let mut dangling: Vec<usize> = (0..n_gates)
+        .filter(|&g| fanout[spec.n_inputs + g] == 0)
+        .collect();
+    // Deepest first: those are the natural outputs and must be kept.
+    dangling.sort_by_key(|&g| std::cmp::Reverse(gate_layer[g]));
+
+    let mut outputs: Vec<usize> = Vec::with_capacity(spec.n_outputs);
+    let mut to_attach: Vec<usize> = Vec::new();
+    for g in dangling {
+        if outputs.len() < spec.n_outputs || gate_layer[g] == last_layer {
+            outputs.push(g);
+        } else {
+            to_attach.push(g);
+        }
+    }
+
+    // Surplus dangling gates get wired into a later layer.
+    let mut worklist = to_attach;
+    while let Some(g) = worklist.pop() {
+        let gl = gate_layer[g];
+        let mut attached = false;
+        for _try in 0..64 {
+            let h = rng.gen_range(0..n_gates);
+            if gate_layer[h] <= gl || b.gate_arity(h) < 2 {
+                continue;
+            }
+            let pin = 1 + rng.gen_range(0..b.gate_arity(h) - 1);
+            let old = b.gate_input(h, pin);
+            let old_idx = flat_index(spec, old);
+            if fanout[old_idx] < 2 {
+                continue;
+            }
+            b.rewire_input(h, pin, Signal::Gate(g as u32))
+                .expect("later-layer rewire is always topologically valid");
+            fanout[old_idx] -= 1;
+            fanout[spec.n_inputs + g] += 1;
+            attached = true;
+            break;
+        }
+        if !attached {
+            // Exhaustive fallback over all later-layer spare pins.
+            'scan: for h in 0..n_gates {
+                if gate_layer[h] <= gl || b.gate_arity(h) < 2 {
+                    continue;
+                }
+                for pin in 1..b.gate_arity(h) {
+                    let old = b.gate_input(h, pin);
+                    let old_idx = flat_index(spec, old);
+                    if fanout[old_idx] < 2 {
+                        continue;
+                    }
+                    b.rewire_input(h, pin, Signal::Gate(g as u32))
+                        .expect("later-layer rewire is valid");
+                    fanout[old_idx] -= 1;
+                    fanout[spec.n_inputs + g] += 1;
+                    attached = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !attached {
+            // Keep it as an extra output; trimmed below if over budget
+            // (the generate_layered retry loop catches the rare failure).
+            outputs.push(g);
+        }
+    }
+
+    // Top up with the deepest non-dangling gates.
+    if outputs.len() < spec.n_outputs {
+        let mut rest: Vec<usize> = (0..n_gates)
+            .filter(|g| !outputs.contains(g))
+            .collect();
+        rest.sort_by_key(|&g| std::cmp::Reverse(gate_layer[g]));
+        for g in rest {
+            if outputs.len() == spec.n_outputs {
+                break;
+            }
+            outputs.push(g);
+        }
+    }
+    outputs.truncate(spec.n_outputs);
+    outputs
+        .into_iter()
+        .map(|g| Signal::Gate(g as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> LayeredSpec {
+        LayeredSpec {
+            name: "rand-small".into(),
+            n_inputs: 12,
+            n_outputs: 5,
+            n_gates: 60,
+            pin_connections: 126,
+            depth: 8,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn exact_counts_are_hit() {
+        let n = generate_layered(&small_spec()).unwrap();
+        assert_eq!(n.n_inputs(), 12);
+        assert_eq!(n.n_outputs(), 5);
+        assert_eq!(n.n_gates(), 60);
+        assert_eq!(n.pin_connection_count(), 126);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn depth_is_close_to_target() {
+        let n = generate_layered(&small_spec()).unwrap();
+        let depth = n.logic_depth();
+        assert!(
+            (7..=9).contains(&depth),
+            "depth {depth} too far from target 8"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_layered(&small_spec()).unwrap();
+        let b = generate_layered(&small_spec()).unwrap();
+        assert_eq!(a.gates(), b.gates());
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec2 = small_spec();
+        spec2.seed = 12;
+        let a = generate_layered(&small_spec()).unwrap();
+        let b = generate_layered(&spec2).unwrap();
+        assert_ne!(a.gates(), b.gates());
+    }
+
+    #[test]
+    fn rejects_infeasible_specs() {
+        let mut s = small_spec();
+        s.pin_connections = 10; // fewer than gates
+        assert!(generate_layered(&s).is_err());
+
+        let mut s = small_spec();
+        s.depth = 0;
+        assert!(generate_layered(&s).is_err());
+
+        let mut s = small_spec();
+        s.n_outputs = 100; // more outputs than gates
+        assert!(generate_layered(&s).is_err());
+    }
+
+    #[test]
+    fn handles_input_heavy_circuits() {
+        // Mimics c2670's unusual shape: far more inputs than layer-0 gates.
+        let spec = LayeredSpec {
+            name: "wide".into(),
+            n_inputs: 100,
+            n_outputs: 40,
+            n_gates: 400,
+            pin_connections: 760,
+            depth: 12,
+            seed: 3,
+        };
+        let n = generate_layered(&spec).unwrap();
+        n.validate().unwrap();
+        assert_eq!(n.n_inputs(), 100);
+        assert_eq!(n.pin_connection_count(), 760);
+    }
+}

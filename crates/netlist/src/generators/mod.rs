@@ -1,0 +1,148 @@
+//! Circuit generators.
+//!
+//! Three families:
+//!
+//! * arithmetic building blocks ([`ripple_carry_adder`], [`parity_tree`])
+//!   used by examples and tests;
+//! * a real [`array_multiplier`] with the
+//!   NOR-based adder cells of the original c6288 (Hansen et al., IEEE
+//!   Design & Test 1999) — the module used in the paper's Fig. 7
+//!   hierarchical experiment;
+//! * [`generate_layered`] random DAGs calibrated to the published ISCAS85
+//!   timing-graph sizes, dispatched by name through [`iscas`].
+
+mod layered;
+mod multiplier;
+
+pub mod iscas;
+
+pub use iscas::{iscas85, iscas85_all, Iscas85Spec, ISCAS85_SPECS};
+pub use layered::{generate_layered, LayeredSpec};
+pub use multiplier::array_multiplier;
+
+use crate::library::library_90nm;
+use crate::{Netlist, NetlistError, Signal};
+use std::sync::Arc;
+
+/// Generates an `n`-bit ripple-carry adder.
+///
+/// Inputs (in order): `a[0..n]`, `b[0..n]`, `cin`; outputs: `sum[0..n]`,
+/// `cout`. Built from XOR/AND/OR cells, so its cell mix differs from the
+/// NOR-only multiplier — useful for exercising heterogeneous libraries.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] when `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Result<Netlist, NetlistError> {
+    if n == 0 {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "adder width must be at least 1".into(),
+        });
+    }
+    let lib = Arc::new(library_90nm());
+    let mut b = Netlist::builder(format!("rca{n}"), lib, 2 * n + 1);
+
+    let a = |i: usize| Signal::Input(i as u32);
+    let bb = |i: usize| Signal::Input((n + i) as u32);
+    let mut carry = Signal::Input(2 * n as u32); // cin
+
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        // sum_i = a ^ b ^ carry; carry' = (a & b) | (carry & (a ^ b)).
+        let axb = b.add_gate_by_name("XOR2", &[a(i), bb(i)])?;
+        let sum = b.add_gate_by_name("XOR2", &[axb, carry])?;
+        let and1 = b.add_gate_by_name("AND2", &[a(i), bb(i)])?;
+        let and2 = b.add_gate_by_name("AND2", &[axb, carry])?;
+        carry = b.add_gate_by_name("OR2", &[and1, and2])?;
+        sums.push(sum);
+    }
+    for s in sums {
+        b.add_output(s)?;
+    }
+    b.add_output(carry)?;
+    b.finish()
+}
+
+/// Generates a balanced XOR parity tree over `n` inputs.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] when `n < 2`.
+pub fn parity_tree(n: usize) -> Result<Netlist, NetlistError> {
+    if n < 2 {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "parity tree needs at least 2 inputs".into(),
+        });
+    }
+    let lib = Arc::new(library_90nm());
+    let mut b = Netlist::builder(format!("parity{n}"), lib, n);
+    let mut level: Vec<Signal> = (0..n as u32).map(Signal::Input).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.add_gate_by_name("XOR2", &[pair[0], pair[1]])?);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    b.add_output(level[0])?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{from_bits, simulate, to_bits};
+
+    #[test]
+    fn adder_adds_exhaustively_for_small_widths() {
+        let n = 3;
+        let adder = ripple_carry_adder(n).unwrap();
+        adder.validate().unwrap();
+        for a in 0..(1u64 << n) {
+            for b in 0..(1u64 << n) {
+                for cin in 0..2u64 {
+                    let mut inputs = to_bits(a, n);
+                    inputs.extend(to_bits(b, n));
+                    inputs.push(cin == 1);
+                    let out = simulate(&adder, &inputs);
+                    let got = from_bits(&out);
+                    assert_eq!(got, a + b + cin, "{a} + {b} + {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_shape() {
+        let adder = ripple_carry_adder(8).unwrap();
+        assert_eq!(adder.n_inputs(), 17);
+        assert_eq!(adder.n_outputs(), 9);
+        assert_eq!(adder.n_gates(), 8 * 5);
+    }
+
+    #[test]
+    fn adder_rejects_zero_width() {
+        assert!(ripple_carry_adder(0).is_err());
+    }
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        let n = 9;
+        let tree = parity_tree(n).unwrap();
+        tree.validate().unwrap();
+        for v in [0u64, 1, 0b101, 0b111111111, 0b100100100] {
+            let out = simulate(&tree, &to_bits(v, n));
+            assert_eq!(out[0], v.count_ones() % 2 == 1, "v = {v:b}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_depth_is_logarithmic() {
+        let tree = parity_tree(64).unwrap();
+        assert_eq!(tree.logic_depth(), 6);
+    }
+}

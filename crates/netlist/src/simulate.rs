@@ -1,0 +1,124 @@
+//! Topological logic simulation.
+//!
+//! Because `Netlist` stores gates in topological order,
+//! simulation is a single pass. This is used to functionally verify the
+//! generated circuits — most importantly that the c6288 stand-in really is
+//! a 16×16 multiplier.
+
+use crate::Netlist;
+
+/// Evaluates the netlist for one input vector and returns the output values.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != netlist.n_inputs()`.
+///
+/// # Example
+///
+/// ```
+/// use ssta_netlist::{generators, simulate::simulate};
+///
+/// # fn main() -> Result<(), ssta_netlist::NetlistError> {
+/// let adder = generators::ripple_carry_adder(2)?;
+/// // 3 + 1 with carry-in 0: inputs are [a0, a1, b0, b1, cin].
+/// let out = simulate(&adder, &[true, true, true, false, false]);
+/// // sum = 0b100: s0 = 0, s1 = 0, cout = 1.
+/// assert_eq!(out, vec![false, false, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    assert_eq!(
+        inputs.len(),
+        netlist.n_inputs(),
+        "input vector length mismatch"
+    );
+    let mut values = vec![false; netlist.n_inputs() + netlist.n_gates()];
+    values[..inputs.len()].copy_from_slice(inputs);
+
+    let mut pin_values: Vec<bool> = Vec::with_capacity(4);
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        pin_values.clear();
+        pin_values.extend(
+            gate.inputs
+                .iter()
+                .map(|&s| values[netlist.signal_index(s)]),
+        );
+        let kind = netlist.library().cell(gate.cell).kind();
+        values[netlist.n_inputs() + gi] = kind.eval(&pin_values);
+    }
+
+    netlist
+        .outputs()
+        .iter()
+        .map(|&s| values[netlist.signal_index(s)])
+        .collect()
+}
+
+/// Converts the low `n` bits of `value` to a little-endian bool vector.
+pub fn to_bits(value: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Converts a little-endian bool slice back to an integer.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "too many bits for u64");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::library_90nm;
+    use crate::Signal;
+    use std::sync::Arc;
+
+    #[test]
+    fn bit_conversions_round_trip() {
+        for v in [0u64, 1, 5, 0xdead, u32::MAX as u64] {
+            assert_eq!(from_bits(&to_bits(v, 64)), v);
+        }
+        assert_eq!(to_bits(5, 3), vec![true, false, true]);
+    }
+
+    #[test]
+    fn simulate_small_circuit_all_vectors() {
+        // out = NOR(NAND(a, b), NOT(c)) — true iff (a&b is false) is false..
+        // i.e. out = (a AND b) AND c.
+        let lib = Arc::new(library_90nm());
+        let mut b = crate::Netlist::builder("f", lib, 3);
+        let nand = b
+            .add_gate_by_name("NAND2", &[Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        let ninv = b.add_gate_by_name("INV", &[Signal::Input(2)]).unwrap();
+        let out = b.add_gate_by_name("NOR2", &[nand, ninv]).unwrap();
+        b.add_output(out).unwrap();
+        let n = b.finish().unwrap();
+
+        for v in 0..8u64 {
+            let bits = to_bits(v, 3);
+            let got = simulate(&n, &bits)[0];
+            let want = bits[0] && bits[1] && bits[2];
+            assert_eq!(got, want, "vector {v:03b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_input_length_panics() {
+        let lib = Arc::new(library_90nm());
+        let mut b = crate::Netlist::builder("x", lib, 2);
+        let g = b
+            .add_gate_by_name("NAND2", &[Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        b.add_output(g).unwrap();
+        let n = b.finish().unwrap();
+        let _ = simulate(&n, &[true]);
+    }
+}

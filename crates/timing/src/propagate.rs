@@ -1,0 +1,171 @@
+//! Longest-path propagation in topological order.
+//!
+//! `forward` computes arrival times (max delay from a set of sources);
+//! `backward` computes the max delay *to* a set of sinks (the negated
+//! required time of Section IV-B of the paper, where `re` is "the maximum
+//! delay from output vj to the sink vertex of e ... when the required time
+//! at vj is set to 0").
+//!
+//! Both are generic over [`DelayAlgebra`], so the same code path serves
+//! scalar STA and canonical-form SSTA.
+
+use crate::{DelayAlgebra, TimingError, TimingGraph, VertexId};
+
+/// Arrival times from the given `(vertex, initial)` sources.
+///
+/// Returns one `Option<D>` per vertex slot; `None` means the vertex is not
+/// reachable from any source. A vertex listed twice keeps the max of its
+/// initial values.
+///
+/// # Errors
+///
+/// Returns [`TimingError::CyclicGraph`] for cyclic graphs.
+pub fn forward<D: DelayAlgebra>(
+    graph: &TimingGraph<D>,
+    sources: &[(VertexId, D)],
+) -> Result<Vec<Option<D>>, TimingError> {
+    let order = graph.topo_order()?;
+    let mut arrival: Vec<Option<D>> = vec![None; graph.vertex_bound()];
+    for (v, init) in sources {
+        let slot = &mut arrival[v.0 as usize];
+        *slot = Some(match slot.take() {
+            Some(prev) => prev.maximum(init),
+            None => init.clone(),
+        });
+    }
+    for &v in &order {
+        let Some(at_v) = arrival[v.0 as usize].clone() else {
+            continue;
+        };
+        for e in graph.out_edges(v) {
+            let edge = graph.edge(e);
+            let cand = at_v.sum(&edge.delay);
+            let slot = &mut arrival[edge.to.0 as usize];
+            *slot = Some(match slot.take() {
+                Some(prev) => prev.maximum(&cand),
+                None => cand,
+            });
+        }
+    }
+    Ok(arrival)
+}
+
+/// Max delay from each vertex to the given `(vertex, initial)` sinks
+/// (reverse propagation).
+///
+/// # Errors
+///
+/// Returns [`TimingError::CyclicGraph`] for cyclic graphs.
+pub fn backward<D: DelayAlgebra>(
+    graph: &TimingGraph<D>,
+    sinks: &[(VertexId, D)],
+) -> Result<Vec<Option<D>>, TimingError> {
+    let order = graph.topo_order()?;
+    let mut required: Vec<Option<D>> = vec![None; graph.vertex_bound()];
+    for (v, init) in sinks {
+        let slot = &mut required[v.0 as usize];
+        *slot = Some(match slot.take() {
+            Some(prev) => prev.maximum(init),
+            None => init.clone(),
+        });
+    }
+    for &v in order.iter().rev() {
+        // max over out-edges of (required[to] + delay).
+        let mut best: Option<D> = required[v.0 as usize].clone();
+        for e in graph.out_edges(v) {
+            let edge = graph.edge(e);
+            if let Some(r) = &required[edge.to.0 as usize] {
+                let cand = edge.delay.sum(r);
+                best = Some(match best {
+                    Some(prev) => prev.maximum(&cand),
+                    None => cand,
+                });
+            }
+        }
+        required[v.0 as usize] = best;
+    }
+    Ok(required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// in --1--> a --3--> out
+    ///   \--2--> b --1--> out
+    fn diamond() -> (TimingGraph<f64>, [VertexId; 4]) {
+        let mut g = TimingGraph::new();
+        let i = g.add_input();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, a, 1.0);
+        g.add_edge(i, b, 2.0);
+        g.add_edge(a, o, 3.0);
+        g.add_edge(b, o, 1.0);
+        (g, [i, a, b, o])
+    }
+
+    #[test]
+    fn forward_takes_longest_path() {
+        let (g, [i, a, b, o]) = diamond();
+        let arr = forward(&g, &[(i, 0.0)]).unwrap();
+        assert_eq!(arr[i.0 as usize], Some(0.0));
+        assert_eq!(arr[a.0 as usize], Some(1.0));
+        assert_eq!(arr[b.0 as usize], Some(2.0));
+        assert_eq!(arr[o.0 as usize], Some(4.0)); // max(1+3, 2+1)
+    }
+
+    #[test]
+    fn forward_respects_initial_offsets() {
+        let (g, [i, _, _, o]) = diamond();
+        let arr = forward(&g, &[(i, 10.0)]).unwrap();
+        assert_eq!(arr[o.0 as usize], Some(14.0));
+    }
+
+    #[test]
+    fn forward_unreachable_is_none() {
+        let (g, [_, a, b, o]) = diamond();
+        // Start from a only: b is unreachable.
+        let arr = forward(&g, &[(a, 0.0)]).unwrap();
+        assert_eq!(arr[b.0 as usize], None);
+        assert_eq!(arr[o.0 as usize], Some(3.0));
+    }
+
+    #[test]
+    fn backward_mirrors_forward() {
+        let (g, [i, a, b, o]) = diamond();
+        let req = backward(&g, &[(o, 0.0)]).unwrap();
+        assert_eq!(req[o.0 as usize], Some(0.0));
+        assert_eq!(req[a.0 as usize], Some(3.0));
+        assert_eq!(req[b.0 as usize], Some(1.0));
+        assert_eq!(req[i.0 as usize], Some(4.0));
+    }
+
+    #[test]
+    fn duplicate_sources_keep_max() {
+        let (g, [i, _, _, o]) = diamond();
+        let arr = forward(&g, &[(i, 0.0), (i, 5.0)]).unwrap();
+        assert_eq!(arr[o.0 as usize], Some(9.0));
+    }
+
+    #[test]
+    fn edge_criticality_identity_holds() {
+        // For every edge e: ae + d + re <= graph delay, with equality on
+        // the critical path (the de = ae + d + re identity of eq. (15)).
+        let (g, [i, _, _, o]) = diamond();
+        let arr = forward(&g, &[(i, 0.0)]).unwrap();
+        let req = backward(&g, &[(o, 0.0)]).unwrap();
+        let total = arr[o.0 as usize].unwrap();
+        let mut on_critical = 0;
+        for (_, e) in g.edges_iter() {
+            let de = arr[e.from.0 as usize].unwrap() + e.delay + req[e.to.0 as usize].unwrap();
+            assert!(de <= total + 1e-12);
+            if (de - total).abs() < 1e-12 {
+                on_critical += 1;
+            }
+        }
+        assert_eq!(on_critical, 2); // i->a->o is the critical path
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's Fig. 7 experiment at example scale: four array multipliers
+//! placed in two columns with cross-connected data paths, analyzed with
+//! the proposed variable-replacement method, the global-correlation-only
+//! baseline, and validated against flattened Monte Carlo.
+//!
+//! Run with `cargo run --release --example hierarchical_soc`.
+
+use hier_ssta::core::{
+    analyze, CorrelationMode, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig,
+};
+use hier_ssta::mc::{flat_design_delay, McOptions};
+use hier_ssta::netlist::{generators, DieRect};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const WIDTH: usize = 8; // 16 reproduces the paper's c6288 exactly
+
+    // One multiplier IP, characterized and compressed once, instantiated
+    // four times — the reuse pattern hierarchical SSTA exists for.
+    let config = SstaConfig::paper();
+    let ctx = Arc::new(ModuleContext::characterize(
+        generators::array_multiplier(WIDTH)?,
+        &config,
+    )?);
+    let model = Arc::new(ctx.extract_model(&ExtractOptions::default())?);
+    println!(
+        "multiplier model: {} -> {} edges ({:.0}% of original)",
+        model.stats().original_edges,
+        model.edge_count(),
+        100.0 * model.stats().edge_ratio()
+    );
+
+    let (w, h) = model.geometry().extent_um();
+    let mut b = DesignBuilder::new(
+        "soc",
+        DieRect {
+            width: 2.0 * w,
+            height: 2.0 * h,
+        },
+        config,
+    );
+    let m0 = b.add_instance("m0", model.clone(), Some(ctx.clone()), (0.0, 0.0))?;
+    let m1 = b.add_instance("m1", model.clone(), Some(ctx.clone()), (0.0, h))?;
+    let m2 = b.add_instance("m2", model.clone(), Some(ctx.clone()), (w, 0.0))?;
+    let m3 = b.add_instance("m3", model.clone(), Some(ctx.clone()), (w, h))?;
+
+    // Cross-connect: column-1 product bits feed column-2 operands.
+    for k in 0..WIDTH {
+        b.connect(m0, k, m2, k, 0.0)?;
+        b.connect(m1, k, m2, WIDTH + k, 0.0)?;
+        b.connect(m0, WIDTH + k, m3, k, 0.0)?;
+        b.connect(m1, WIDTH + k, m3, WIDTH + k, 0.0)?;
+    }
+    for inst in [m0, m1] {
+        for k in 0..2 * WIDTH {
+            b.expose_input(vec![(inst, k)])?;
+        }
+    }
+    for inst in [m2, m3] {
+        for k in 0..2 * WIDTH {
+            b.expose_output(inst, k)?;
+        }
+    }
+    let design = b.finish()?;
+
+    let proposed = analyze(&design, CorrelationMode::Proposed)?;
+    let global = analyze(&design, CorrelationMode::GlobalOnly)?;
+    let mc = flat_design_delay(
+        &design,
+        &McOptions {
+            samples: 2000,
+            ..Default::default()
+        },
+    )?;
+
+    println!("\n                 mean (ps)   sigma (ps)");
+    println!(
+        "Monte Carlo      {:9.1}    {:8.1}   (flattened netlist, ground truth)",
+        mc.mean(),
+        mc.std_dev()
+    );
+    println!(
+        "proposed         {:9.1}    {:8.1}   ({:+.1}% sigma vs MC)",
+        proposed.delay.mean(),
+        proposed.delay.std_dev(),
+        100.0 * (proposed.delay.std_dev() / mc.std_dev() - 1.0)
+    );
+    println!(
+        "global-only      {:9.1}    {:8.1}   ({:+.1}% sigma vs MC)",
+        global.delay.mean(),
+        global.delay.std_dev(),
+        100.0 * (global.delay.std_dev() / mc.std_dev() - 1.0)
+    );
+    println!(
+        "\nconclusion: the correlation from local variation has a remarkable effect on the\n\
+         circuit delay distribution, and the proposed replacement recovers it (Fig. 7)."
+    );
+    Ok(())
+}

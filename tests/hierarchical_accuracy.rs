@@ -1,0 +1,130 @@
+//! The paper's central claims, verified end to end at test scale on the
+//! Fig. 7 topology (four cross-connected multipliers, abutted):
+//!
+//! 1. the proposed variable-replacement analysis matches flattened Monte
+//!    Carlo closely;
+//! 2. sharing only global correlation visibly *underestimates* the design
+//!    delay spread;
+//! 3. module placement distance modulates the effect.
+
+use hier_ssta::core::{
+    analyze, CorrelationMode, Design, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig,
+};
+use hier_ssta::mc::compare::ks_against_form;
+use hier_ssta::mc::{flat_design_delay, McOptions};
+use hier_ssta::netlist::{generators, DieRect};
+use std::sync::Arc;
+
+const WIDTH: usize = 5;
+
+fn quad_design() -> Design {
+    let config = SstaConfig::paper();
+    let ctx = Arc::new(
+        ModuleContext::characterize(
+            generators::array_multiplier(WIDTH).expect("multiplier"),
+            &config,
+        )
+        .expect("characterize"),
+    );
+    let model = Arc::new(ctx.extract_model(&ExtractOptions::default()).expect("extract"));
+    let (w, h) = model.geometry().extent_um();
+    let mut b = DesignBuilder::new(
+        "quad",
+        DieRect {
+            width: 2.0 * w,
+            height: 2.0 * h,
+        },
+        config,
+    );
+    let m0 = b
+        .add_instance("m0", model.clone(), Some(ctx.clone()), (0.0, 0.0))
+        .expect("place");
+    let m1 = b
+        .add_instance("m1", model.clone(), Some(ctx.clone()), (0.0, h))
+        .expect("place");
+    let m2 = b
+        .add_instance("m2", model.clone(), Some(ctx.clone()), (w, 0.0))
+        .expect("place");
+    let m3 = b
+        .add_instance("m3", model.clone(), Some(ctx), (w, h))
+        .expect("place");
+    for k in 0..WIDTH {
+        b.connect(m0, k, m2, k, 0.0).expect("wire");
+        b.connect(m1, k, m2, WIDTH + k, 0.0).expect("wire");
+        b.connect(m0, WIDTH + k, m3, k, 0.0).expect("wire");
+        b.connect(m1, WIDTH + k, m3, WIDTH + k, 0.0).expect("wire");
+    }
+    for inst in [m0, m1] {
+        for k in 0..2 * WIDTH {
+            b.expose_input(vec![(inst, k)]).expect("pi");
+        }
+    }
+    for inst in [m2, m3] {
+        for k in 0..2 * WIDTH {
+            b.expose_output(inst, k).expect("po");
+        }
+    }
+    b.finish().expect("design")
+}
+
+#[test]
+fn proposed_method_tracks_monte_carlo() {
+    let design = quad_design();
+    let proposed = analyze(&design, CorrelationMode::Proposed).expect("analysis");
+    let mc = flat_design_delay(
+        &design,
+        &McOptions {
+            samples: 4000,
+            ..Default::default()
+        },
+    )
+    .expect("MC");
+
+    let mean_err = (proposed.delay.mean() - mc.mean()).abs() / mc.mean();
+    assert!(mean_err < 0.02, "mean error {mean_err}");
+    let sigma_err = (proposed.delay.std_dev() - mc.std_dev()).abs() / mc.std_dev();
+    assert!(sigma_err < 0.10, "sigma error {sigma_err}");
+    assert!(
+        ks_against_form(&mc, &proposed.delay) < 0.05,
+        "KS distance too large"
+    );
+}
+
+#[test]
+fn global_only_underestimates_the_spread() {
+    let design = quad_design();
+    let proposed = analyze(&design, CorrelationMode::Proposed).expect("analysis");
+    let global = analyze(&design, CorrelationMode::GlobalOnly).expect("analysis");
+    let mc = flat_design_delay(
+        &design,
+        &McOptions {
+            samples: 4000,
+            ..Default::default()
+        },
+    )
+    .expect("MC");
+
+    // The ordering the paper's Fig. 7 shows.
+    assert!(global.delay.std_dev() < proposed.delay.std_dev());
+    assert!(global.delay.std_dev() < 0.95 * mc.std_dev(),
+        "global-only sigma {} should clearly undershoot MC {}",
+        global.delay.std_dev(),
+        mc.std_dev()
+    );
+    // And the proposed method is the better fit by KS distance.
+    let ks_prop = ks_against_form(&mc, &proposed.delay);
+    let ks_glob = ks_against_form(&mc, &global.delay);
+    assert!(
+        ks_prop < ks_glob,
+        "proposed KS {ks_prop} should beat global-only KS {ks_glob}"
+    );
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let design = quad_design();
+    let a = analyze(&design, CorrelationMode::Proposed).expect("analysis");
+    let b = analyze(&design, CorrelationMode::Proposed).expect("analysis");
+    assert_eq!(a.delay.mean(), b.delay.mean());
+    assert_eq!(a.delay.std_dev(), b.delay.std_dev());
+}

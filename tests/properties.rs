@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) of the core invariants:
+//!
+//! * canonical-form algebra (moment identities, bounds, symmetry);
+//! * graph reduction preserves the statistical delay matrix;
+//! * PCA round trips covariance;
+//! * variable replacement preserves moments for random module placements.
+
+use hier_ssta::core::CanonicalForm;
+use hier_ssta::math::{cholesky, Matrix, PcaBasis, PcaOptions};
+use proptest::prelude::*;
+
+fn coeff() -> impl Strategy<Value = f64> {
+    -2.0..2.0f64
+}
+
+fn form(n_globals: usize, n_locals: usize) -> impl Strategy<Value = CanonicalForm> {
+    (
+        10.0..500.0f64,
+        proptest::collection::vec(coeff(), n_globals),
+        proptest::collection::vec(coeff(), n_locals),
+        0.0..3.0f64,
+    )
+        .prop_map(|(nom, g, l, r)| CanonicalForm::from_parts(nom, g, l, r).expect("finite"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sum_variance_identity(a in form(2, 5), b in form(2, 5)) {
+        // Var(A+B) = Var(A) + Var(B) + 2 Cov(A,B) must hold exactly.
+        let s = a.sum(&b);
+        let want = a.variance() + b.variance() + 2.0 * a.covariance(&b);
+        prop_assert!((s.variance() - want).abs() < 1e-9 * want.abs().max(1.0));
+        prop_assert!((s.mean() - a.mean() - b.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_is_commutative(a in form(2, 5), b in form(2, 5)) {
+        let ab = a.sum(&b);
+        let ba = b.sum(&a);
+        prop_assert_eq!(ab.mean(), ba.mean());
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dominates_means(a in form(2, 5), b in form(2, 5)) {
+        let m = a.maximum(&b);
+        prop_assert!(m.mean() >= a.mean().max(b.mean()) - 1e-9);
+    }
+
+    #[test]
+    fn max_is_symmetric_in_distribution(a in form(2, 5), b in form(2, 5)) {
+        let ab = a.maximum(&b);
+        let ba = b.maximum(&a);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-7 * ab.variance().max(1.0));
+    }
+
+    #[test]
+    fn max_with_self_matches_collapsed_random_semantics(a in form(2, 5)) {
+        // Under the collapsed-random convention a clone's private random
+        // part is an independent variable, so max(A, A') is the max of
+        // two variables that differ only in ±a_r noise: the mean grows by
+        // exactly θ·φ(0) with θ = √2·a_r (Clark with α = 0).
+        let m = a.maximum(&a.clone());
+        let theta = std::f64::consts::SQRT_2 * a.random();
+        let want = a.mean() + theta * hier_ssta::math::normal_pdf(0.0);
+        prop_assert!((m.mean() - want).abs() < 1e-9, "mean {} want {}", m.mean(), want);
+        // With a_r = 0 the identity is exact.
+        let b = CanonicalForm::from_parts(
+            a.mean(), a.globals().to_vec(), a.locals().to_vec(), 0.0,
+        ).expect("finite");
+        let mb = b.maximum(&b.clone());
+        prop_assert!((mb.mean() - b.mean()).abs() < 1e-9);
+        prop_assert!((mb.variance() - b.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_bounded(a in form(2, 5), b in form(2, 5)) {
+        prop_assert_eq!(a.covariance(&b), b.covariance(&a));
+        // |Cov| <= sigma_a * sigma_b (Cauchy-Schwarz on shared variables).
+        prop_assert!(a.covariance(&b).abs() <= a.std_dev() * b.std_dev() + 1e-9);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip(a in form(2, 5), p in 0.01..0.99f64) {
+        prop_assume!(a.std_dev() > 1e-6);
+        let t = a.quantile(p);
+        prop_assert!((a.cdf(t) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negation_preserves_variance(a in form(2, 5)) {
+        let n = a.negated();
+        prop_assert_eq!(n.variance(), a.variance());
+        prop_assert_eq!(n.mean(), -a.mean());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PCA of any synthetic SPD covariance reconstructs it.
+    #[test]
+    fn pca_reconstructs_covariance(seed_entries in proptest::collection::vec(-1.0..1.0f64, 25)) {
+        let b = Matrix::from_vec(5, 5, seed_entries).expect("5x5");
+        // A = B Bᵀ + I is symmetric positive definite.
+        let mut a = b.matmul(&b.transposed()).expect("square");
+        for i in 0..5 {
+            a[(i, i)] += 1.0;
+        }
+        prop_assert!(cholesky::is_positive_definite(&a));
+        let pca = PcaBasis::from_covariance(&a, PcaOptions::default()).expect("pca");
+        let back = pca.transform().matmul(&pca.transform().transposed()).expect("mul");
+        prop_assert!(back.max_abs_diff(&a).expect("shape") < 1e-7);
+    }
+
+    /// Serial/parallel reduction preserves the statistical delay matrix of
+    /// random layered graphs (mean within Clark re-association noise).
+    #[test]
+    fn reduction_preserves_random_graph_delay_matrix(seed in 0u64..500) {
+        use hier_ssta::core::{ModuleContext, SstaConfig, ExtractOptions};
+        use hier_ssta::netlist::generators::{generate_layered, LayeredSpec};
+
+        let spec = LayeredSpec {
+            name: format!("prop-{seed}"),
+            n_inputs: 6,
+            n_outputs: 4,
+            n_gates: 40,
+            pin_connections: 85,
+            depth: 6,
+            seed,
+        };
+        let netlist = generate_layered(&spec).expect("generator");
+        let ctx = ModuleContext::characterize(netlist, &SstaConfig::paper()).expect("ctx");
+        // delta = 0: merges only, no pruning.
+        let model = ctx
+            .extract_model(&ExtractOptions { delta: 0.0, ..Default::default() })
+            .expect("extract");
+        let orig = ctx.delay_matrix().expect("matrix");
+        let red = model.delay_matrix().expect("matrix");
+        let (_, mismatched) = orig.compare_with(&red, |d| d.mean());
+        prop_assert_eq!(mismatched, 0);
+        for (i, j, d) in orig.iter() {
+            let r = red.get(i, j).expect("connected");
+            let rel = (d.mean() - r.mean()).abs() / d.mean();
+            prop_assert!(rel < 0.015, "pair ({}, {}) drift {}", i, j, rel);
+        }
+    }
+}
