@@ -8,14 +8,18 @@ fn forms(n_locals: usize) -> (CanonicalForm, CanonicalForm) {
     let a = CanonicalForm::from_parts(
         100.0,
         vec![1.5, 0.4, 0.3, 1.1],
-        (0..n_locals).map(|i| ((i * 7919) % 13) as f64 * 0.05).collect(),
+        (0..n_locals)
+            .map(|i| ((i * 7919) % 13) as f64 * 0.05)
+            .collect(),
         0.8,
     )
     .expect("finite");
     let b = CanonicalForm::from_parts(
         101.0,
         vec![1.1, 0.5, 0.2, 1.3],
-        (0..n_locals).map(|i| ((i * 104729) % 11) as f64 * 0.06).collect(),
+        (0..n_locals)
+            .map(|i| ((i * 104729) % 11) as f64 * 0.06)
+            .collect(),
         1.0,
     )
     .expect("finite");

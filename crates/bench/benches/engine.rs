@@ -1,0 +1,130 @@
+//! Engine benchmark: the speedup the reuse/scheduling layer buys on a
+//! multi-instance hierarchical design (four instances of one multiplier,
+//! the Fig. 7 topology).
+//!
+//! Three flows over the identical design:
+//!
+//! * `flat/reextract_every_instance` — the pre-engine behavior: every
+//!   instance is characterized and extracted from scratch, serially;
+//! * `engine/cold_cache` — fresh engine, empty caches: fingerprint
+//!   deduplication collapses the four instances into one extraction;
+//! * `engine/warm_store` — fresh engine over a pre-warmed persistent
+//!   model library: zero extractions, models deserialized from disk.
+//!
+//! A fourth group compares serial vs parallel scheduling on a design
+//! with three *distinct* modules, where the worker pool actually fans
+//! out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssta_bench::{four_model_design, four_multiplier_spec};
+use ssta_core::{analyze, CorrelationMode, ExtractOptions, ModuleContext, SstaConfig};
+use ssta_engine::{DesignSpec, Engine, EngineOptions};
+use ssta_netlist::generators::array_multiplier;
+use ssta_netlist::DieRect;
+use std::sync::Arc;
+
+const WIDTH: usize = 5;
+
+fn bench_reuse(c: &mut Criterion) {
+    let spec = four_multiplier_spec(WIDTH);
+    let store_dir =
+        std::env::temp_dir().join(format!("hier-ssta-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    // Pre-warm the persistent library once.
+    Engine::new(SstaConfig::paper())
+        .with_store(&store_dir)
+        .expect("store")
+        .analyze(&spec)
+        .expect("warmup");
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("flat/reextract_every_instance", |b| {
+        b.iter(|| {
+            let config = SstaConfig::paper();
+            let models: Vec<Arc<_>> = (0..4)
+                .map(|_| {
+                    let ctx = ModuleContext::characterize(
+                        array_multiplier(WIDTH).expect("generator"),
+                        &config,
+                    )
+                    .expect("characterize");
+                    Arc::new(
+                        ctx.extract_model(&ExtractOptions::default())
+                            .expect("extract"),
+                    )
+                })
+                .collect();
+            let models: [Arc<_>; 4] = models.try_into().expect("four models");
+            let design = four_model_design(models, WIDTH, config);
+            analyze(&design, CorrelationMode::Proposed).expect("analysis")
+        })
+    });
+    group.bench_function("engine/cold_cache", |b| {
+        b.iter(|| {
+            Engine::new(SstaConfig::paper())
+                .analyze(&spec)
+                .expect("cold analysis")
+        })
+    });
+    group.bench_function("engine/warm_store", |b| {
+        b.iter(|| {
+            Engine::new(SstaConfig::paper())
+                .with_store(&store_dir)
+                .expect("store")
+                .analyze(&spec)
+                .expect("warm analysis")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// Three distinct multipliers side by side — no shared definition, so
+/// the scheduler's worker pool does real parallel work.
+fn distinct_module_spec() -> DesignSpec {
+    let widths = [4usize, 5, 6];
+    let die = DieRect {
+        width: 300.0,
+        height: 100.0,
+    };
+    let mut b = DesignSpec::builder("tri-mul", die);
+    let mut x = 0.0;
+    for w in widths {
+        let m = b.add_module(array_multiplier(w).expect("generator"));
+        let inst = b
+            .add_instance(format!("mul{w}"), m, (x, 0.0))
+            .expect("place");
+        for k in 0..2 * w {
+            b.expose_input(vec![(inst, k)]);
+            b.expose_output(inst, k);
+        }
+        x += 100.0;
+    }
+    b.finish().expect("spec")
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let spec = distinct_module_spec();
+    let mut group = c.benchmark_group("engine-scheduling");
+    group.sample_size(10);
+    for (name, threads) in [("serial", 1usize), ("parallel", 0)] {
+        group.bench_function(format!("cold/{name}"), |b| {
+            b.iter(|| {
+                Engine::with_options(
+                    SstaConfig::paper(),
+                    EngineOptions {
+                        threads,
+                        ..EngineOptions::default()
+                    },
+                )
+                .analyze(&spec)
+                .expect("analysis")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse, bench_parallelism);
+criterion_main!(benches);

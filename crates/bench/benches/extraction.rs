@@ -11,10 +11,15 @@ fn bench_extraction(c: &mut Criterion) {
     for name in ["c432", "c880"] {
         let ctx = characterize(name);
         group.bench_function(name, |b| {
-            b.iter(|| ctx.extract_model(&ExtractOptions::default()).expect("extract"))
+            b.iter(|| {
+                ctx.extract_model(&ExtractOptions::default())
+                    .expect("extract")
+            })
         });
         // Print a Table-I-style line once per circuit for reference.
-        let model = ctx.extract_model(&ExtractOptions::default()).expect("extract");
+        let model = ctx
+            .extract_model(&ExtractOptions::default())
+            .expect("extract");
         let s = model.stats();
         println!(
             "[table1-style] {name}: Eo={} Vo={} Em={} Vm={} pe={:.0}% pv={:.0}%",

@@ -32,7 +32,9 @@ fn main() {
         let char_s = t0.elapsed().as_secs_f64();
 
         let t1 = std::time::Instant::now();
-        let model = ctx.extract_model(&ExtractOptions::default()).expect("extract");
+        let model = ctx
+            .extract_model(&ExtractOptions::default())
+            .expect("extract");
         let extract_s = t1.elapsed().as_secs_f64();
 
         let mc = ssta_mc::module_delay_matrix(

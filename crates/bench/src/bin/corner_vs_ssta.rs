@@ -38,8 +38,7 @@ fn main() {
         let corner = sta::graph_delay(&corner_graph).expect("corner STA");
 
         // SSTA distribution of the module delay (max over outputs).
-        let arrivals =
-            sta::output_arrivals(ctx.graph(), || ctx.zero()).expect("SSTA propagation");
+        let arrivals = sta::output_arrivals(ctx.graph(), || ctx.zero()).expect("SSTA propagation");
         let delay = arrivals
             .into_iter()
             .flatten()

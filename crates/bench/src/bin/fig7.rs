@@ -15,7 +15,9 @@ use ssta_mc::McOptions;
 fn main() {
     let width = multiplier_width();
     let samples = mc_samples();
-    println!("Fig. 7: hierarchical timing analysis of 4 x mul{width}x{width} (cross-connected, abutted)");
+    println!(
+        "Fig. 7: hierarchical timing analysis of 4 x mul{width}x{width} (cross-connected, abutted)"
+    );
     println!("building and extracting the multiplier timing model...");
     let design = four_multiplier_design(width);
 

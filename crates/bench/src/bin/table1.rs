@@ -26,7 +26,14 @@ fn main() {
         let row = table1_row(name, samples);
         let paper = PAPER_TABLE1.iter().find(|p| p.0 == *name);
         let (pem, pvm, ppe, ppv, pmerr, pverr) = paper.map_or(
-            ("-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
+            (
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ),
             |&(_, eo, vo, em, vm, me, ve)| {
                 (
                     em.to_string(),

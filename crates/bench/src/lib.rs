@@ -19,8 +19,7 @@
 #![forbid(unsafe_code)]
 
 use ssta_core::{
-    CorrelationMode, Design, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig,
-    TimingModel,
+    CorrelationMode, Design, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig, TimingModel,
 };
 use ssta_mc::McOptions;
 use ssta_netlist::generators::{array_multiplier, iscas85, ISCAS85_SPECS};
@@ -58,11 +57,7 @@ pub fn selected_benchmarks() -> Vec<&'static str> {
     ISCAS85_SPECS
         .iter()
         .map(|s| s.name)
-        .filter(|n| {
-            filter
-                .as_ref()
-                .map_or(true, |f| f.iter().any(|x| x == n))
-        })
+        .filter(|n| filter.as_ref().is_none_or(|f| f.iter().any(|x| x == n)))
         .collect()
 }
 
@@ -161,6 +156,91 @@ pub fn four_multiplier_design(width: usize) -> Design {
     four_instance_design(ctx, model, width, config)
 }
 
+/// The Fig. 7 experiment as a pre-extraction [`ssta_engine::DesignSpec`]:
+/// the engine input equivalent of [`four_multiplier_design`]. The die is
+/// sized from the module placement alone, so building the spec performs
+/// no characterization.
+pub fn four_multiplier_spec(width: usize) -> ssta_engine::DesignSpec {
+    let config = SstaConfig::paper();
+    let netlist = array_multiplier(width).expect("multiplier generator");
+    let placement = ssta_netlist::Placement::rows(&netlist, config.cell_pitch_um);
+    let geometry = ssta_core::GridGeometry::from_die(placement.die(), config.grid_pitch_um());
+    let (mw, mh) = geometry.extent_um();
+    let die = DieRect {
+        width: 2.0 * mw,
+        height: 2.0 * mh,
+    };
+    let mut b = ssta_engine::DesignSpec::builder(format!("quad-mul{width}-spec"), die);
+    let m = b.add_module(netlist);
+    let m0 = b.add_instance("m0", m, (0.0, 0.0)).expect("place m0");
+    let m1 = b.add_instance("m1", m, (0.0, mh)).expect("place m1");
+    let m2 = b.add_instance("m2", m, (mw, 0.0)).expect("place m2");
+    let m3 = b.add_instance("m3", m, (mw, mh)).expect("place m3");
+    for k in 0..width {
+        b.connect(m0, k, m2, k);
+        b.connect(m1, k, m2, width + k);
+        b.connect(m0, width + k, m3, k);
+        b.connect(m1, width + k, m3, width + k);
+    }
+    for inst in [m0, m1] {
+        for k in 0..2 * width {
+            b.expose_input(vec![(inst, k)]);
+        }
+    }
+    for inst in [m2, m3] {
+        for k in 0..2 * width {
+            b.expose_output(inst, k);
+        }
+    }
+    b.finish().expect("spec")
+}
+
+/// As [`four_multiplier_design`] but with one (possibly distinct) model
+/// per instance — the shape of the pre-engine flow that re-extracts every
+/// instance.
+pub fn four_model_design(
+    models: [Arc<TimingModel>; 4],
+    width: usize,
+    config: SstaConfig,
+) -> Design {
+    let (mw, mh) = models[0].geometry().extent_um();
+    let die = DieRect {
+        width: 2.0 * mw,
+        height: 2.0 * mh,
+    };
+    let mut b = DesignBuilder::new(format!("quad-mul{width}"), die, config);
+    let [model0, model1, model2, model3] = models;
+    let m0 = b
+        .add_instance("m0", model0, None, (0.0, 0.0))
+        .expect("place m0");
+    let m1 = b
+        .add_instance("m1", model1, None, (0.0, mh))
+        .expect("place m1");
+    let m2 = b
+        .add_instance("m2", model2, None, (mw, 0.0))
+        .expect("place m2");
+    let m3 = b
+        .add_instance("m3", model3, None, (mw, mh))
+        .expect("place m3");
+    for k in 0..width {
+        b.connect(m0, k, m2, k, 0.0).expect("wire");
+        b.connect(m1, k, m2, width + k, 0.0).expect("wire");
+        b.connect(m0, width + k, m3, k, 0.0).expect("wire");
+        b.connect(m1, width + k, m3, width + k, 0.0).expect("wire");
+    }
+    for inst in [m0, m1] {
+        for k in 0..2 * width {
+            b.expose_input(vec![(inst, k)]).expect("pi");
+        }
+    }
+    for inst in [m2, m3] {
+        for k in 0..2 * width {
+            b.expose_output(inst, k).expect("po");
+        }
+    }
+    b.finish().expect("design")
+}
+
 /// As [`four_multiplier_design`] but reusing a pre-extracted model.
 pub fn four_instance_design(
     ctx: Arc<ModuleContext>,
@@ -244,6 +324,19 @@ mod tests {
                 assert_eq!(spec.gates + spec.inputs, vo, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn spec_and_design_agree() {
+        // The engine spec route must reproduce the direct route exactly.
+        let design = four_multiplier_design(4);
+        let direct = ssta_core::analyze(&design, CorrelationMode::Proposed).expect("direct");
+        let spec = four_multiplier_spec(4);
+        let mut engine = ssta_engine::Engine::new(SstaConfig::paper());
+        let run = engine.analyze(&spec).expect("engine");
+        assert_eq!(run.stats.instances, 4);
+        assert_eq!(run.stats.extractions, 1);
+        assert_eq!(run.timing.po_arrivals, direct.po_arrivals);
     }
 
     #[test]

@@ -156,7 +156,9 @@ impl CanonicalForm {
     pub fn evaluate(&self, globals: &[f64], locals: &[f64], random_value: f64) -> f64 {
         assert_eq!(globals.len(), self.globals.len(), "global dim mismatch");
         assert_eq!(locals.len(), self.locals.len(), "local dim mismatch");
-        self.nominal + dot(&self.globals, globals) + dot(&self.locals, locals)
+        self.nominal
+            + dot(&self.globals, globals)
+            + dot(&self.locals, locals)
             + self.random * random_value
     }
 
@@ -351,7 +353,7 @@ mod tests {
         assert_eq!(s.globals(), &[1.5, 1.0]);
         assert_eq!(s.locals(), &[1.0]);
         assert_eq!(s.random(), 5.0); // sqrt(9 + 16)
-        // Exact: Var(A+B) = Var(A) + Var(B) + 2 Cov(A,B).
+                                     // Exact: Var(A+B) = Var(A) + Var(B) + 2 Cov(A,B).
         let want = a.variance() + b.variance() + 2.0 * a.covariance(&b);
         assert!((s.variance() - want).abs() < 1e-12);
     }
@@ -427,7 +429,12 @@ mod tests {
             s.push(va.max(vb));
             let _ = rng.gen::<f64>(); // decorrelate streams a little
         }
-        assert!((m.mean() - s.mean()).abs() < 0.02, "mean {} vs MC {}", m.mean(), s.mean());
+        assert!(
+            (m.mean() - s.mean()).abs() < 0.02,
+            "mean {} vs MC {}",
+            m.mean(),
+            s.mean()
+        );
         assert!(
             (m.std_dev() - s.std_dev()).abs() < 0.03,
             "std {} vs MC {}",

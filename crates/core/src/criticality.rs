@@ -88,7 +88,11 @@ pub fn edge_criticalities(
         })
         .collect();
 
-    let n_slots = graph.edges_iter().map(|(id, _)| id.0 as usize + 1).max().unwrap_or(0);
+    let n_slots = graph
+        .edges_iter()
+        .map(|(id, _)| id.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut cm = vec![0.0f64; n_slots];
 
     for chunk in outputs.chunks(batch) {
@@ -121,8 +125,7 @@ pub fn edge_criticalities(
                     let Some(m_ij) = arrival[vj.0 as usize].as_ref() else {
                         continue;
                     };
-                    let (m_nom, m_sig) =
-                        arr_stats[vj.0 as usize].expect("checked above");
+                    let (m_nom, m_sig) = arr_stats[vj.0 as usize].expect("checked above");
                     let req_j = &required[j_idx];
                     let req_stat_j = &req_stats[j_idx];
                     for &(slot, from, to, d_nom, d_sig) in &edge_info {
@@ -252,9 +255,7 @@ fn parallel_map<T: Sync, R: Send, E: Send>(
         let mut handles = Vec::new();
         for chunk in items.chunks(chunk_size) {
             let f = &f;
-            handles.push(s.spawn(move |_| {
-                chunk.iter().map(f).collect::<Result<Vec<R>, E>>()
-            }));
+            handles.push(s.spawn(move |_| chunk.iter().map(f).collect::<Result<Vec<R>, E>>()));
         }
         let mut out = Vec::with_capacity(items.len());
         for h in handles {
@@ -314,8 +315,7 @@ mod tests {
     fn criticalities_are_probabilities() {
         let ctx = adder_ctx();
         let cms =
-            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
-                .unwrap();
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
         for (id, _) in ctx.graph().edges_iter() {
             let c = cms[id.0 as usize];
             assert!((0.0..=1.0).contains(&c), "cm = {c}");
@@ -336,11 +336,9 @@ mod tests {
             s = b.add_gate_by_name("INV", &[s]).unwrap();
         }
         b.add_output(s).unwrap();
-        let ctx =
-            ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
+        let ctx = ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
         let cms =
-            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
-                .unwrap();
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
         for (id, _) in ctx.graph().edges_iter() {
             let c = cms[id.0 as usize];
             assert!((0.49..=0.51).contains(&c), "chain edge cm = {c}");
@@ -357,16 +355,16 @@ mod tests {
         let mut b = Netlist::builder("branch", lib, 1);
         let mut long = Signal::Input(0);
         for _ in 0..4 {
-            long = b.add_gate_by_name("NOR2", &[long, Signal::Input(0)]).unwrap();
+            long = b
+                .add_gate_by_name("NOR2", &[long, Signal::Input(0)])
+                .unwrap();
         }
         let short = b.add_gate_by_name("INV", &[Signal::Input(0)]).unwrap();
         let join = b.add_gate_by_name("NAND2", &[long, short]).unwrap();
         b.add_output(join).unwrap();
-        let ctx =
-            ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
+        let ctx = ModuleContext::characterize(b.finish().unwrap(), &SstaConfig::paper()).unwrap();
         let cms =
-            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
-                .unwrap();
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
         // Find the INV arc (short branch).
         let short_edges: Vec<f64> = ctx
             .graph()
@@ -386,13 +384,12 @@ mod tests {
         // and 1. Check on the smallest benchmark.
         let ctx = ctx("c432");
         let cms =
-            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default())
-                .unwrap();
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
         let h = criticality_histogram(ctx.graph(), &cms, 20);
         let total = h.total() as f64;
         let low = h.counts()[0] as f64; // [0, 0.05): prunable edges
-        // Upper mode: the 0.5 saturation band [0.45, 0.65) under the
-        // collapsed-random convention (the paper's mode at 1.0).
+                                        // Upper mode: the 0.5 saturation band [0.45, 0.65) under the
+                                        // collapsed-random convention (the paper's mode at 1.0).
         let high: f64 = h.counts()[9..13].iter().sum::<u64>() as f64;
         assert!(
             (low + high) / total > 0.6,
@@ -440,12 +437,8 @@ mod tests {
             },
         )
         .unwrap();
-        let filtered = edge_criticalities(
-            ctx.graph(),
-            &ctx.zero(),
-            &CriticalityOptions::default(),
-        )
-        .unwrap();
+        let filtered =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
         for (x, y) in strict.iter().zip(&filtered) {
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }

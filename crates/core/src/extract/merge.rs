@@ -52,11 +52,17 @@ fn parallel_merge_pass(graph: &mut TimingGraph<CanonicalForm>) -> usize {
     let vertices: Vec<VertexId> = graph.vertices().collect();
     let mut merged = 0;
     for v in vertices {
-        // Group live out-edges by sink.
+        // Group live out-edges by sink. The groups must be processed in a
+        // deterministic order — extraction results are content-addressed
+        // and reproduced bit-exactly from cache, so HashMap iteration
+        // order (which varies per process) must not leak into the merge
+        // order and thereby into Clark max association.
         let mut groups: HashMap<VertexId, Vec<EdgeId>> = HashMap::new();
         for e in graph.out_edges(v) {
             groups.entry(graph.edge(e).to).or_default().push(e);
         }
+        let mut groups: Vec<(VertexId, Vec<EdgeId>)> = groups.into_iter().collect();
+        groups.sort_unstable_by_key(|&(to, _)| to);
         for (to, edges) in groups {
             if edges.len() < 2 {
                 continue;
@@ -79,10 +85,7 @@ fn parallel_merge_pass(graph: &mut TimingGraph<CanonicalForm>) -> usize {
 /// Fig. 1) or a single fan-out (reverse direction). Returns the number of
 /// vertices removed.
 fn serial_merge_pass(graph: &mut TimingGraph<CanonicalForm>) -> usize {
-    let candidates: Vec<VertexId> = graph
-        .vertices()
-        .filter(|&v| !is_port(graph, v))
-        .collect();
+    let candidates: Vec<VertexId> = graph.vertices().filter(|&v| !is_port(graph, v)).collect();
     let mut removed = 0;
     for v in candidates {
         if !graph.is_alive(v) {

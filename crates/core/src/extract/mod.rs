@@ -203,7 +203,7 @@ fn nominal_forward(
             let edge = graph.edge(e);
             let cand = av + edge.delay.mean();
             let slot = &mut arr[edge.to.0 as usize];
-            if slot.map_or(true, |(prev, _)| cand > prev) {
+            if slot.is_none_or(|(prev, _)| cand > prev) {
                 *slot = Some((cand, Some(e)));
             }
         }
@@ -248,7 +248,9 @@ fn repair_accuracy(
         for (i, &vi) in graph.inputs().iter().enumerate() {
             let arr = masked_forward(graph, vi, &zero, keep);
             for (j, &vj) in outputs.iter().enumerate() {
-                let Some(want) = reference[i][j] else { continue };
+                let Some(want) = reference[i][j] else {
+                    continue;
+                };
                 let got = arr[vj.0 as usize].as_ref().map_or(0.0, |f| f.mean());
                 if (want - got) / want > tolerance {
                     failing.push((i, j));
@@ -335,10 +337,7 @@ fn drop_dead_vertices(graph: &mut TimingGraph<CanonicalForm>) {
         .filter(|v| !(fwd[v.0 as usize] && bwd[v.0 as usize]))
         .collect();
     for &v in &dead {
-        let incident: Vec<EdgeId> = graph
-            .in_edges(v)
-            .chain(graph.out_edges(v))
-            .collect();
+        let incident: Vec<EdgeId> = graph.in_edges(v).chain(graph.out_edges(v)).collect();
         for e in incident {
             graph.remove_edge(e);
         }
@@ -464,6 +463,19 @@ mod tests {
     }
 
     #[test]
+    fn extraction_is_bit_deterministic() {
+        // The engine content-addresses models and reproduces them from
+        // cache, and parallel/serial engine runs must agree bit-exactly —
+        // so two extractions of the same inputs must produce *identical*
+        // model graphs (not merely statistically equivalent ones).
+        let a = extract(&ctx("c432"), &ExtractOptions::default()).unwrap();
+        let b = extract(&ctx("c432"), &ExtractOptions::default()).unwrap();
+        let ga = serde_json::to_string(a.graph()).unwrap();
+        let gb = serde_json::to_string(b.graph()).unwrap();
+        assert_eq!(ga, gb, "model graphs must be bit-identical");
+    }
+
+    #[test]
     fn invalid_delta_is_rejected() {
         let ctx = ctx("c432");
         assert!(extract(
@@ -476,4 +488,3 @@ mod tests {
         .is_err());
     }
 }
-

@@ -1,0 +1,152 @@
+//! Content fingerprints for module characterization inputs.
+//!
+//! A timing model is a pure function of four inputs: the netlist
+//! structure, the cell library it is mapped to, the [`SstaConfig`] it is
+//! characterized under (placement and grids are derived deterministically
+//! from these), and the [`ExtractOptions`] driving model extraction. The
+//! engine's model library keys cached models by a SHA-256 over exactly
+//! those inputs, so two instances of the same module definition share one
+//! extraction, while any semantic change — a different netlist, sigma,
+//! grid pitch or pruning threshold — produces a different key.
+//!
+//! Scheduling knobs that cannot change results (worker-thread counts,
+//! batch sizes) are deliberately excluded, so re-running with different
+//! parallelism still hits the cache.
+
+use crate::extract::ExtractOptions;
+use crate::params::SstaConfig;
+use ssta_math::digest::{sha256, Sha256};
+use ssta_netlist::Netlist;
+
+/// A content fingerprint of one module's characterization inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModuleFingerprint(Sha256);
+
+impl ModuleFingerprint {
+    /// The fingerprint as lowercase hex — filesystem- and key-safe.
+    pub fn to_hex(&self) -> String {
+        self.0.to_hex()
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> &Sha256 {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ModuleFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Fingerprints a module: netlist structure + library + configuration +
+/// extraction options.
+///
+/// The serialized forms are deterministic (struct fields in declaration
+/// order, maps with sorted keys, shortest round-trip floats), so equal
+/// inputs always produce equal fingerprints. The netlist *name* is a
+/// label, not structure — the same circuit registered under two names
+/// (`alu_east`/`alu_west`) must dedupe to one characterization — so it
+/// is excluded from the hash.
+pub fn module_fingerprint(
+    netlist: &Netlist,
+    config: &SstaConfig,
+    options: &ExtractOptions,
+) -> ModuleFingerprint {
+    let mut payload = String::new();
+    payload.push_str("hier-ssta module fingerprint v1\n");
+    let mut structure = serde::Serialize::to_value(netlist);
+    if let serde::Value::Map(entries) = &mut structure {
+        entries.retain(|(field, _)| field != "name");
+    }
+    payload.push_str(&serde_json::to_string(&structure).expect("netlist serializes"));
+    payload.push('\n');
+    payload.push_str(&serde_json::to_string(&**netlist.library()).expect("library serializes"));
+    payload.push('\n');
+    payload.push_str(&serde_json::to_string(config).expect("config serializes"));
+    payload.push('\n');
+    // Semantic extraction options only: thread/batch knobs are excluded
+    // (they cannot change the extracted model).
+    payload.push_str(&format!(
+        "delta={:?};ensure_connectivity={};accuracy_repair={:?};max_repair_rounds={};\
+         prefilter_sigmas={:?};max_merge_rounds={}",
+        options.delta,
+        options.ensure_connectivity,
+        options.accuracy_repair,
+        options.max_repair_rounds,
+        options.criticality.prefilter_sigmas,
+        options.max_merge_rounds,
+    ));
+    ModuleFingerprint(sha256(payload.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssta_netlist::generators;
+
+    fn adder() -> Netlist {
+        generators::ripple_carry_adder(4).unwrap()
+    }
+
+    #[test]
+    fn equal_inputs_equal_fingerprints() {
+        let a = module_fingerprint(&adder(), &SstaConfig::paper(), &ExtractOptions::default());
+        let b = module_fingerprint(&adder(), &SstaConfig::paper(), &ExtractOptions::default());
+        assert_eq!(a, b);
+        assert_eq!(a.to_hex().len(), 64);
+    }
+
+    #[test]
+    fn renaming_a_netlist_keeps_the_key() {
+        // The name is a label: same structure, different label, one
+        // characterization unit.
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        let base = module_fingerprint(&adder(), &cfg, &opts);
+        let renamed = adder().renamed("alu_west");
+        assert_eq!(base, module_fingerprint(&renamed, &cfg, &opts));
+    }
+
+    #[test]
+    fn netlist_structure_changes_the_key() {
+        let small = generators::ripple_carry_adder(4).unwrap();
+        let large = generators::ripple_carry_adder(5).unwrap();
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        assert_ne!(
+            module_fingerprint(&small, &cfg, &opts),
+            module_fingerprint(&large, &cfg, &opts)
+        );
+    }
+
+    #[test]
+    fn config_and_options_change_the_key() {
+        let n = adder();
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        let base = module_fingerprint(&n, &cfg, &opts);
+
+        let mut other_cfg = cfg.clone();
+        other_cfg.grid_side_cells = 5;
+        assert_ne!(base, module_fingerprint(&n, &other_cfg, &opts));
+
+        let other_opts = ExtractOptions {
+            delta: 0.01,
+            ..ExtractOptions::default()
+        };
+        assert_ne!(base, module_fingerprint(&n, &cfg, &other_opts));
+    }
+
+    #[test]
+    fn scheduling_knobs_do_not_change_the_key() {
+        let n = adder();
+        let cfg = SstaConfig::paper();
+        let mut opts = ExtractOptions::default();
+        let base = module_fingerprint(&n, &cfg, &opts);
+        opts.criticality.threads = 7;
+        opts.criticality.output_batch = 3;
+        assert_eq!(base, module_fingerprint(&n, &cfg, &opts));
+    }
+}

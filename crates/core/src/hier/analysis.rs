@@ -104,7 +104,11 @@ pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, C
         if c.wire_delay_ps != 0.0 {
             wire = CanonicalForm::constant(c.wire_delay_ps, n_globals, n_locals);
         }
-        graph.add_edge(out_ports[c.from.0][c.from.1], in_ports[c.to.0][c.to.1], wire);
+        graph.add_edge(
+            out_ports[c.from.0][c.from.1],
+            in_ports[c.to.0][c.to.1],
+            wire,
+        );
     }
     // Design POs.
     for &(inst, port) in design.po_sources() {

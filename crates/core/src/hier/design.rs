@@ -89,7 +89,11 @@ impl Design {
     pub fn translated_geometries(&self) -> Vec<GridGeometry> {
         self.instances
             .iter()
-            .map(|inst| inst.model.geometry().translated(inst.origin.0, inst.origin.1))
+            .map(|inst| {
+                inst.model
+                    .geometry()
+                    .translated(inst.origin.0, inst.origin.1)
+            })
             .collect()
     }
 }
@@ -318,7 +322,9 @@ mod tests {
     fn single_instance_design_builds() {
         let (model, ctx) = model_and_ctx();
         let mut b = DesignBuilder::new("d", big_die(), SstaConfig::paper());
-        let i = b.add_instance("u0", model.clone(), Some(ctx), (0.0, 0.0)).unwrap();
+        let i = b
+            .add_instance("u0", model.clone(), Some(ctx), (0.0, 0.0))
+            .unwrap();
         for k in 0..model.n_inputs() {
             b.expose_input(vec![(i, k)]).unwrap();
         }
@@ -334,7 +340,9 @@ mod tests {
     fn undriven_input_is_rejected() {
         let (model, _) = model_and_ctx();
         let mut b = DesignBuilder::new("d", big_die(), SstaConfig::paper());
-        let i = b.add_instance("u0", model.clone(), None, (0.0, 0.0)).unwrap();
+        let i = b
+            .add_instance("u0", model.clone(), None, (0.0, 0.0))
+            .unwrap();
         b.expose_output(i, 0).unwrap();
         // No PI bound: every input is undriven.
         assert!(matches!(b.finish(), Err(CoreError::Config { .. })));
@@ -344,7 +352,9 @@ mod tests {
     fn doubly_driven_input_is_rejected() {
         let (model, _) = model_and_ctx();
         let mut b = DesignBuilder::new("d", big_die(), SstaConfig::paper());
-        let i = b.add_instance("u0", model.clone(), None, (0.0, 0.0)).unwrap();
+        let i = b
+            .add_instance("u0", model.clone(), None, (0.0, 0.0))
+            .unwrap();
         for k in 0..model.n_inputs() {
             b.expose_input(vec![(i, k)]).unwrap();
         }
@@ -383,7 +393,9 @@ mod tests {
     fn port_range_checks() {
         let (model, _) = model_and_ctx();
         let mut b = DesignBuilder::new("d", big_die(), SstaConfig::paper());
-        let i = b.add_instance("u0", model.clone(), None, (0.0, 0.0)).unwrap();
+        let i = b
+            .add_instance("u0", model.clone(), None, (0.0, 0.0))
+            .unwrap();
         assert!(b.expose_input(vec![(i, 999)]).is_err());
         assert!(b.expose_output(i, 999).is_err());
         assert!(b.connect(i, 999, i, 0, 0.0).is_err());

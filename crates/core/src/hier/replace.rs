@@ -43,11 +43,7 @@ impl DesignVariables {
     pub fn build(design: &Design) -> Result<Self, CoreError> {
         let geometries: Vec<_> = design.translated_geometries();
         let config = design.config();
-        let partition = DesignPartition::build(
-            design.die(),
-            &geometries,
-            config.grid_pitch_um(),
-        );
+        let partition = DesignPartition::build(design.die(), &geometries, config.grid_pitch_um());
         let cov = config
             .correlation
             .covariance_matrix(partition.centers(), config.grid_pitch_um());
@@ -57,9 +53,8 @@ impl DesignVariables {
             .iter()
             .map(|_| Arc::clone(&basis))
             .collect();
-        let layout = VariableLayout::new(
-            &pca.iter().map(|b| b.n_components()).collect::<Vec<usize>>(),
-        );
+        let layout =
+            VariableLayout::new(&pca.iter().map(|b| b.n_components()).collect::<Vec<usize>>());
         Ok(DesignVariables {
             partition,
             pca,
@@ -176,12 +171,7 @@ mod tests {
             .add_instance("u0", Arc::clone(&model), Some(Arc::clone(&ctx)), (0.0, 0.0))
             .unwrap();
         let c = b
-            .add_instance(
-                "u1",
-                Arc::clone(&model),
-                Some(Arc::clone(&ctx)),
-                (mw, 0.0),
-            )
+            .add_instance("u1", Arc::clone(&model), Some(Arc::clone(&ctx)), (mw, 0.0))
             .unwrap();
         // Feed u0's sum outputs into u1's a-inputs; everything else is PI.
         for k in 0..8 {
@@ -225,9 +215,7 @@ mod tests {
         let vars = DesignVariables::build(&design).unwrap();
         let repl = InstanceReplacement::build(&model, &vars, 0).unwrap();
         for (_, e) in model.graph().edges_iter() {
-            let mapped = repl
-                .apply(&e.delay, model.layout(), vars.layout())
-                .unwrap();
+            let mapped = repl.apply(&e.delay, model.layout(), vars.layout()).unwrap();
             assert_eq!(mapped.mean(), e.delay.mean());
             assert!(
                 (mapped.variance() - e.delay.variance()).abs()
@@ -278,12 +266,7 @@ mod tests {
         let a = r0.apply(&e.delay, model.layout(), vars.layout()).unwrap();
         let b = r1.apply(&e.delay, model.layout(), vars.layout()).unwrap();
         // Local parts now overlap: covariance beyond the global share.
-        let local_cov: f64 = a
-            .locals()
-            .iter()
-            .zip(b.locals())
-            .map(|(x, y)| x * y)
-            .sum();
+        let local_cov: f64 = a.locals().iter().zip(b.locals()).map(|(x, y)| x * y).sum();
         assert!(
             local_cov > 0.0,
             "abutted instances must share local variation, got {local_cov}"

@@ -46,6 +46,7 @@ mod params;
 
 pub mod criticality;
 pub mod extract;
+pub mod fingerprint;
 pub mod hier;
 pub mod spatial;
 pub mod yield_analysis;
@@ -54,6 +55,7 @@ pub use canonical::CanonicalForm;
 pub use criticality::CriticalityOptions;
 pub use error::CoreError;
 pub use extract::{ExtractOptions, ExtractionStats, TimingModel};
+pub use fingerprint::{module_fingerprint, ModuleFingerprint};
 pub use hier::{analyze, CorrelationMode, Design, DesignBuilder, DesignTiming};
 pub use module::ModuleContext;
 pub use params::{ParameterSpec, SstaConfig, VariableLayout};

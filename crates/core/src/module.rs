@@ -59,11 +59,8 @@ impl ModuleContext {
             .map(|_| Arc::clone(&basis))
             .collect();
 
-        let layout = VariableLayout::new(
-            &pca.iter()
-                .map(|b| b.n_components())
-                .collect::<Vec<usize>>(),
-        );
+        let layout =
+            VariableLayout::new(&pca.iter().map(|b| b.n_components()).collect::<Vec<usize>>());
 
         let graph = build_graph(&netlist, &placement, &geometry, &layout, &pca, config);
         Ok(ModuleContext {
@@ -258,11 +255,7 @@ mod tests {
         // Use a bigger module so grid distances actually vary.
         let n = generators::iscas85("c880").unwrap();
         let ctx = ModuleContext::characterize(n, &SstaConfig::paper()).unwrap();
-        let edges: Vec<&CanonicalForm> = ctx
-            .graph()
-            .edges_iter()
-            .map(|(_, e)| &e.delay)
-            .collect();
+        let edges: Vec<&CanonicalForm> = ctx.graph().edges_iter().map(|(_, e)| &e.delay).collect();
         // "Self"-correlation through the shared-variable API equals
         // 1 - random_share (the private random parts never correlate).
         let first = edges.first().unwrap();

@@ -1,0 +1,407 @@
+//! The analysis engine: dedupe, schedule, cache, assemble, analyze.
+//!
+//! [`Engine::analyze`] turns a [`DesignSpec`] into a [`DesignTiming`] in
+//! four steps:
+//!
+//! 1. **Fingerprint** every module definition
+//!    ([`ssta_core::module_fingerprint`]) and deduplicate identical
+//!    definitions — four instances of one multiplier, or two separately
+//!    registered but structurally identical blocks, resolve to a single
+//!    characterization unit.
+//! 2. **Resolve** each distinct fingerprint against the two cache tiers:
+//!    the in-memory session cache, then the persistent [`ModelStore`]
+//!    (when attached). A corrupt store artifact is rejected by the store
+//!    layer, counted, and transparently recomputed.
+//! 3. **Extract** the remaining modules in parallel over scoped worker
+//!    threads. Characterization and extraction are deterministic pure
+//!    functions of the fingerprinted inputs, so the thread count cannot
+//!    change any result bit — only the wall clock.
+//! 4. **Assemble** the design from the resolved models and run the
+//!    top-level hierarchical analysis (partition, design PCA, variable
+//!    replacement, propagation).
+//!
+//! Invalidation ([`Engine::invalidate`]) drops one module from both cache
+//! tiers; the next analyze re-extracts exactly that module and reuses
+//! every other cached model, which is the incremental re-analysis story:
+//! an ECO in one IP block costs one extraction plus the top-level
+//! assembly, never a full re-characterization.
+
+use crate::error::EngineError;
+use crate::spec::{DesignSpec, ModuleId};
+use crate::store::ModelStore;
+use ssta_core::{
+    analyze, module_fingerprint, CorrelationMode, Design, DesignBuilder, DesignTiming,
+    ExtractOptions, ModuleContext, SstaConfig, TimingModel,
+};
+use ssta_netlist::Netlist;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Extraction options applied to every module (part of the cache
+    /// key).
+    pub extract: ExtractOptions,
+    /// Correlation handling for the top-level analysis.
+    pub mode: CorrelationMode,
+    /// Worker threads for module characterization/extraction; `0` uses
+    /// the available parallelism, `1` forces the serial path.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            extract: ExtractOptions::default(),
+            mode: CorrelationMode::Proposed,
+            threads: 0,
+        }
+    }
+}
+
+/// Where a resolved model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSource {
+    /// The in-memory session cache.
+    Memory,
+    /// The persistent model library.
+    Store,
+    /// Characterized and extracted in this call.
+    Extracted,
+}
+
+/// Accounting for one [`Engine::analyze`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Instances in the analyzed design.
+    pub instances: usize,
+    /// Distinct module definitions after fingerprint deduplication.
+    pub distinct_modules: usize,
+    /// Modules characterized + extracted in this run (cache misses).
+    pub extractions: usize,
+    /// Modules served from the in-memory session cache.
+    pub memory_hits: usize,
+    /// Modules served from the persistent model library.
+    pub store_hits: usize,
+    /// Store artifacts rejected as corrupt/mismatched and recomputed.
+    pub store_rejects: usize,
+    /// Models written to the persistent library in this run.
+    pub store_writes: usize,
+    /// Failed library writes (read-only mount, disk full, …). The cache
+    /// is best-effort: a failed write never fails the analysis.
+    pub store_write_failures: usize,
+    /// Wall-clock seconds resolving models (cache lookups + parallel
+    /// extraction).
+    pub resolve_seconds: f64,
+    /// Wall-clock seconds assembling and analyzing the top level.
+    pub assembly_seconds: f64,
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The design-level timing result.
+    pub timing: DesignTiming,
+    /// What the run cost and where its models came from.
+    pub stats: RunStats,
+}
+
+/// A parallel, cache-backed hierarchical analysis engine.
+#[derive(Debug)]
+pub struct Engine {
+    config: SstaConfig,
+    options: EngineOptions,
+    memory: HashMap<String, std::sync::Arc<TimingModel>>,
+    store: Option<ModelStore>,
+}
+
+impl Engine {
+    /// Creates an engine analyzing under `config` with default options
+    /// and no persistent store.
+    pub fn new(config: SstaConfig) -> Self {
+        Engine::with_options(config, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(config: SstaConfig, options: EngineOptions) -> Self {
+        Engine {
+            config,
+            options,
+            memory: HashMap::new(),
+            store: None,
+        }
+    }
+
+    /// Attaches a persistent model library rooted at `path` (created if
+    /// missing). Models found there are reused across engine instances
+    /// and across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the directory cannot be created.
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        self.store = Some(ModelStore::open(path.as_ref().to_path_buf())?);
+        Ok(self)
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &SstaConfig {
+        &self.config
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The attached model library, if any.
+    pub fn store(&self) -> Option<&ModelStore> {
+        self.store.as_ref()
+    }
+
+    /// The cache key of a module definition under this engine's
+    /// configuration.
+    pub fn module_key(&self, netlist: &Netlist) -> String {
+        module_fingerprint(netlist, &self.config, &self.options.extract).to_hex()
+    }
+
+    /// Resolves one module to a timing model through the cache tiers,
+    /// reporting where it came from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization/extraction and store I/O failures.
+    pub fn model_for(
+        &mut self,
+        netlist: &Netlist,
+    ) -> Result<(std::sync::Arc<TimingModel>, ModelSource), EngineError> {
+        let key = self.module_key(netlist);
+        if let Some(m) = self.memory.get(&key) {
+            return Ok((std::sync::Arc::clone(m), ModelSource::Memory));
+        }
+        if let Some(store) = &self.store {
+            match store.load(&key) {
+                Ok(Some(model)) => {
+                    let model = std::sync::Arc::new(model);
+                    self.memory.insert(key, std::sync::Arc::clone(&model));
+                    return Ok((model, ModelSource::Store));
+                }
+                Ok(None) | Err(EngineError::Store { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let ctx = ModuleContext::characterize((*netlist).clone(), &self.config)?;
+        let model = std::sync::Arc::new(ctx.extract_model(&self.options.extract)?);
+        if let Some(store) = &self.store {
+            // Best-effort cache write; the extracted model is returned
+            // regardless.
+            let _ = store.save(&key, &model);
+        }
+        self.memory.insert(key, std::sync::Arc::clone(&model));
+        Ok((model, ModelSource::Extracted))
+    }
+
+    /// Drops `module` of `spec` from every cache tier; the next analyze
+    /// re-extracts exactly this module. Returns whether any tier held it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if a store artifact exists but cannot
+    /// be removed.
+    pub fn invalidate(&mut self, spec: &DesignSpec, module: ModuleId) -> Result<bool, EngineError> {
+        let def = spec
+            .modules
+            .get(module.0)
+            .ok_or_else(|| EngineError::Spec {
+                reason: format!("module id {} does not exist", module.0),
+            })?;
+        let key = self.module_key(&def.netlist);
+        let in_memory = self.memory.remove(&key).is_some();
+        let in_store = match &self.store {
+            Some(store) => store.remove(&key)?,
+            None => false,
+        };
+        Ok(in_memory || in_store)
+    }
+
+    /// Drops every cached model from both tiers — including store
+    /// artifacts written by other engines or processes, not just keys
+    /// this engine has seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if store artifacts cannot be removed.
+    pub fn invalidate_all(&mut self) -> Result<(), EngineError> {
+        self.memory.clear();
+        if let Some(store) = &self.store {
+            store.clear()?;
+        }
+        Ok(())
+    }
+
+    /// Analyzes a design spec: deduplicate modules, resolve them through
+    /// the caches (extracting misses in parallel), assemble the design
+    /// and run the top-level hierarchical analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec, characterization/extraction, store and analysis
+    /// failures.
+    pub fn analyze(&mut self, spec: &DesignSpec) -> Result<EngineRun, EngineError> {
+        let resolve_started = Instant::now();
+        let mut stats = RunStats {
+            instances: spec.instances.len(),
+            ..RunStats::default()
+        };
+
+        // Step 1: fingerprint + dedupe the definitions that are actually
+        // instantiated — a registered-but-unused definition must not cost
+        // an extraction (or skew the stats).
+        let mut keys: Vec<Option<String>> = vec![None; spec.modules.len()];
+        for inst in &spec.instances {
+            let idx = inst.module.0;
+            if keys[idx].is_none() {
+                keys[idx] = Some(self.module_key(&spec.modules[idx].netlist));
+            }
+        }
+        let mut distinct: Vec<(String, usize)> = Vec::new(); // (key, module idx)
+        for (idx, key) in keys.iter().enumerate() {
+            let Some(key) = key else { continue };
+            if !distinct.iter().any(|(k, _)| k == key) {
+                distinct.push((key.clone(), idx));
+            }
+        }
+        stats.distinct_modules = distinct.len();
+
+        // Step 2: cache tiers.
+        let mut jobs: Vec<(String, usize)> = Vec::new();
+        for (key, idx) in &distinct {
+            if self.memory.contains_key(key) {
+                stats.memory_hits += 1;
+                continue;
+            }
+            if let Some(store) = &self.store {
+                match store.load(key) {
+                    Ok(Some(model)) => {
+                        self.memory.insert(key.clone(), std::sync::Arc::new(model));
+                        stats.store_hits += 1;
+                        continue;
+                    }
+                    Ok(None) => {}
+                    Err(EngineError::Store { .. }) => stats.store_rejects += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            jobs.push((key.clone(), *idx));
+        }
+
+        // Step 3: extract misses in parallel.
+        stats.extractions = jobs.len();
+        if !jobs.is_empty() {
+            let extracted = extract_parallel(spec, &jobs, &self.config, &self.options)?;
+            for ((key, _), model) in jobs.iter().zip(extracted) {
+                let model = std::sync::Arc::new(model);
+                if let Some(store) = &self.store {
+                    // Best-effort: the model is already in hand, so a
+                    // failed cache write (read-only library, full disk)
+                    // must not fail the analysis.
+                    match store.save(key, &model) {
+                        Ok(()) => stats.store_writes += 1,
+                        Err(_) => stats.store_write_failures += 1,
+                    }
+                }
+                self.memory.insert(key.clone(), model);
+            }
+        }
+        stats.resolve_seconds = resolve_started.elapsed().as_secs_f64();
+
+        // Step 4: assemble + top-level analysis.
+        let assembly_started = Instant::now();
+        let design = self.assemble(spec, &keys)?;
+        let timing = analyze(&design, self.options.mode)?;
+        stats.assembly_seconds = assembly_started.elapsed().as_secs_f64();
+
+        Ok(EngineRun { timing, stats })
+    }
+
+    /// Builds the [`Design`] from cached models (all of which exist once
+    /// [`Engine::analyze`] reaches this step).
+    fn assemble(&self, spec: &DesignSpec, keys: &[Option<String>]) -> Result<Design, EngineError> {
+        let mut b = DesignBuilder::new(spec.name.clone(), spec.die, self.config.clone());
+        for inst in &spec.instances {
+            let key = keys[inst.module.0]
+                .as_ref()
+                .expect("instanced modules were fingerprinted above");
+            let model = self.memory.get(key).expect("model resolved above");
+            b.add_instance(
+                inst.name.clone(),
+                std::sync::Arc::clone(model),
+                None,
+                inst.origin,
+            )?;
+        }
+        for c in &spec.connections {
+            b.connect(c.from.0, c.from.1, c.to.0, c.to.1, c.wire_delay_ps)?;
+        }
+        for targets in &spec.pi_bindings {
+            b.expose_input(targets.clone())?;
+        }
+        for &(inst, port) in &spec.po_sources {
+            b.expose_output(inst, port)?;
+        }
+        Ok(b.finish()?)
+    }
+}
+
+/// Characterizes and extracts the given `(key, module idx)` jobs across
+/// scoped worker threads, returning models in job order.
+fn extract_parallel(
+    spec: &DesignSpec,
+    jobs: &[(String, usize)],
+    config: &SstaConfig,
+    options: &EngineOptions,
+) -> Result<Vec<TimingModel>, EngineError> {
+    let workers = match options.threads {
+        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        n => n,
+    }
+    .min(jobs.len());
+
+    let run_job = |idx: usize| -> Result<TimingModel, EngineError> {
+        let def = &spec.modules[jobs[idx].1];
+        let ctx = ModuleContext::characterize((*def.netlist).clone(), config)?;
+        Ok(ctx.extract_model(&options.extract)?)
+    };
+
+    if workers <= 1 {
+        return jobs.iter().enumerate().map(|(i, _)| run_job(i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<TimingModel, EngineError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = run_job(i);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every job ran")
+        })
+        .collect()
+}

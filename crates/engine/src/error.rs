@@ -1,0 +1,58 @@
+//! Engine error type.
+
+use ssta_core::CoreError;
+use std::fmt;
+
+/// Errors from the analysis engine and its model library.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An underlying characterization/extraction/analysis failure.
+    Core(CoreError),
+    /// A filesystem failure in the model library.
+    Io(std::io::Error),
+    /// A model-library artifact was rejected: bad magic, unsupported
+    /// format version, truncated payload, checksum mismatch or
+    /// undecodable contents.
+    Store {
+        /// What was wrong with the artifact.
+        reason: String,
+    },
+    /// An invalid design specification.
+    Spec {
+        /// The first violation found.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "core error: {e}"),
+            EngineError::Io(e) => write!(f, "model library I/O error: {e}"),
+            EngineError::Store { reason } => write!(f, "model library artifact rejected: {reason}"),
+            EngineError::Spec { reason } => write!(f, "invalid design spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

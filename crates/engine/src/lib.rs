@@ -1,0 +1,85 @@
+//! # ssta-engine — parallel, cache-backed hierarchical analysis
+//!
+//! The DATE 2009 flow's whole point is that a module's extracted timing
+//! model is characterized **once** and reused everywhere the module is
+//! instantiated — across instances, across analysis runs, and across the
+//! IP-vendor/integrator boundary. The rest of this workspace provides the
+//! one-shot algorithms; this crate turns them into an engine with three
+//! layers:
+//!
+//! * [`ModelStore`] — a **persistent model library**: a content-addressed
+//!   store keyed by a SHA-256 fingerprint of (netlist structure, library,
+//!   [`SstaConfig`](ssta_core::SstaConfig),
+//!   [`ExtractOptions`](ssta_core::ExtractOptions)), with a versioned
+//!   on-disk envelope (magic + format version + integrity stamp) that
+//!   rejects corrupt or wrong-version artifacts cleanly;
+//! * [`Engine`] — a **scheduler** that walks a [`DesignSpec`],
+//!   deduplicates identical module definitions by fingerprint, resolves
+//!   each distinct module through the in-memory and persistent cache
+//!   tiers, and characterizes/extracts the misses **in parallel** over
+//!   scoped threads (thread count cannot change results — extraction is a
+//!   deterministic pure function of the fingerprinted inputs);
+//! * **incremental re-analysis** — [`Engine::invalidate`] drops one
+//!   module from both tiers; the next [`Engine::analyze`] recomputes only
+//!   it plus the top-level assembly, serving every other model from
+//!   cache.
+//!
+//! # Example
+//!
+//! ```
+//! use ssta_engine::{DesignSpec, Engine};
+//! use ssta_core::SstaConfig;
+//! use ssta_netlist::{generators, DieRect};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two instances of one adder, chained.
+//! let netlist = generators::ripple_carry_adder(4)?;
+//! let mut b = DesignSpec::builder(
+//!     "pair",
+//!     DieRect { width: 60.0, height: 40.0 },
+//! );
+//! let m = b.add_module(netlist);
+//! let u0 = b.add_instance("u0", m, (0.0, 0.0))?;
+//! let u1 = b.add_instance("u1", m, (30.0, 0.0))?;
+//! for k in 0..4 {
+//!     b.connect(u0, k, u1, k); // sum bits feed the a operand
+//! }
+//! b.connect(u0, 4, u1, 8); // carry chain
+//! for k in 0..9 {
+//!     b.expose_input(vec![(u0, k)]);
+//! }
+//! for k in 4..8 {
+//!     b.expose_input(vec![(u1, k)]);
+//! }
+//! for k in 0..5 {
+//!     b.expose_output(u1, k);
+//! }
+//! let spec = b.finish()?;
+//!
+//! let mut engine = Engine::new(SstaConfig::paper());
+//! let run = engine.analyze(&spec)?;
+//! // Two instances, one definition: exactly one extraction.
+//! assert_eq!(run.stats.distinct_modules, 1);
+//! assert_eq!(run.stats.extractions, 1);
+//! assert!(run.timing.delay.mean() > 0.0);
+//!
+//! // Same engine again: everything is served from memory.
+//! let warm = engine.analyze(&spec)?;
+//! assert_eq!(warm.stats.extractions, 0);
+//! assert_eq!(warm.stats.memory_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod spec;
+pub mod store;
+
+pub use engine::{Engine, EngineOptions, EngineRun, ModelSource, RunStats};
+pub use error::EngineError;
+pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
+pub use store::ModelStore;

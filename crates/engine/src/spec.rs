@@ -1,0 +1,235 @@
+//! Pre-extraction design specification.
+//!
+//! [`ssta_core::Design`] is built from already-extracted models — the
+//! right input for one-shot analysis, but too late for an engine that
+//! wants to decide *whether* to extract at all. A [`DesignSpec`] is the
+//! same hierarchy expressed one level earlier: module *definitions*
+//! (netlists) plus instances referencing them, with the wiring of the
+//! eventual design. The engine resolves every definition to a model
+//! (cache or fresh extraction) and only then assembles the `Design`.
+
+use crate::error::EngineError;
+use ssta_netlist::{DieRect, Netlist};
+use std::sync::Arc;
+
+/// Identifier of a module definition within one [`DesignSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(pub usize);
+
+/// A module definition: a named netlist shared by any number of
+/// instances.
+#[derive(Debug, Clone)]
+pub struct ModuleDef {
+    /// Definition name (defaults to the netlist name).
+    pub name: String,
+    /// The module netlist.
+    pub netlist: Arc<Netlist>,
+}
+
+/// One placed instance of a module definition.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Instance name.
+    pub name: String,
+    /// The definition this instance refers to.
+    pub module: ModuleId,
+    /// Placement offset of the module origin, in µm.
+    pub origin: (f64, f64),
+}
+
+/// A wire between instance ports, mirroring
+/// [`ssta_core::hier::Connection`] at spec level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectionSpec {
+    /// `(instance, output port)` source.
+    pub from: (usize, usize),
+    /// `(instance, input port)` sink.
+    pub to: (usize, usize),
+    /// Wire delay in ps.
+    pub wire_delay_ps: f64,
+}
+
+/// A hierarchical design expressed over module definitions rather than
+/// extracted models.
+#[derive(Debug, Clone)]
+pub struct DesignSpec {
+    pub(crate) name: String,
+    pub(crate) die: DieRect,
+    pub(crate) modules: Vec<ModuleDef>,
+    pub(crate) instances: Vec<InstanceSpec>,
+    pub(crate) connections: Vec<ConnectionSpec>,
+    pub(crate) pi_bindings: Vec<Vec<(usize, usize)>>,
+    pub(crate) po_sources: Vec<(usize, usize)>,
+}
+
+impl DesignSpec {
+    /// Starts building a spec for a design named `name` on `die`.
+    pub fn builder(name: impl Into<String>, die: DieRect) -> DesignSpecBuilder {
+        DesignSpecBuilder {
+            spec: DesignSpec {
+                name: name.into(),
+                die,
+                modules: Vec::new(),
+                instances: Vec::new(),
+                connections: Vec::new(),
+                pi_bindings: Vec::new(),
+                po_sources: Vec::new(),
+            },
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The module definitions.
+    pub fn modules(&self) -> &[ModuleDef] {
+        &self.modules
+    }
+
+    /// The placed instances.
+    pub fn instances(&self) -> &[InstanceSpec] {
+        &self.instances
+    }
+}
+
+/// Incremental builder for [`DesignSpec`].
+#[derive(Debug)]
+pub struct DesignSpecBuilder {
+    spec: DesignSpec,
+}
+
+impl DesignSpecBuilder {
+    /// Registers a module definition and returns its id. The same
+    /// netlist may be registered once and instantiated many times — the
+    /// engine also deduplicates *identical* definitions registered
+    /// separately (same structure, by content fingerprint).
+    pub fn add_module(&mut self, netlist: Netlist) -> ModuleId {
+        let name = netlist.name().to_owned();
+        self.spec.modules.push(ModuleDef {
+            name,
+            netlist: Arc::new(netlist),
+        });
+        ModuleId(self.spec.modules.len() - 1)
+    }
+
+    /// Places an instance of `module` at `origin`; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Spec`] for an unknown module id.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        module: ModuleId,
+        origin: (f64, f64),
+    ) -> Result<usize, EngineError> {
+        if module.0 >= self.spec.modules.len() {
+            return Err(EngineError::Spec {
+                reason: format!("module id {} does not exist", module.0),
+            });
+        }
+        self.spec.instances.push(InstanceSpec {
+            name: name.into(),
+            module,
+            origin,
+        });
+        Ok(self.spec.instances.len() - 1)
+    }
+
+    /// Wires instance `from`'s output port to instance `to`'s input port.
+    /// Port ranges are validated at assembly time, once models (and thus
+    /// port counts) exist.
+    pub fn connect(&mut self, from: usize, from_port: usize, to: usize, to_port: usize) {
+        self.spec.connections.push(ConnectionSpec {
+            from: (from, from_port),
+            to: (to, to_port),
+            wire_delay_ps: 0.0,
+        });
+    }
+
+    /// As [`connect`](Self::connect) with an explicit wire delay.
+    pub fn connect_with_delay(
+        &mut self,
+        from: usize,
+        from_port: usize,
+        to: usize,
+        to_port: usize,
+        wire_delay_ps: f64,
+    ) {
+        self.spec.connections.push(ConnectionSpec {
+            from: (from, from_port),
+            to: (to, to_port),
+            wire_delay_ps,
+        });
+    }
+
+    /// Declares a design primary input driving the given instance input
+    /// ports; returns the design PI index.
+    pub fn expose_input(&mut self, targets: Vec<(usize, usize)>) -> usize {
+        self.spec.pi_bindings.push(targets);
+        self.spec.pi_bindings.len() - 1
+    }
+
+    /// Declares a design primary output observing the given instance
+    /// output port; returns the design PO index.
+    pub fn expose_output(&mut self, inst: usize, port: usize) -> usize {
+        self.spec.po_sources.push((inst, port));
+        self.spec.po_sources.len() - 1
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Spec`] if the design has no instances or no
+    /// outputs, or an instance references a missing module. Port-level
+    /// validation happens at assembly, via [`ssta_core::DesignBuilder`].
+    pub fn finish(self) -> Result<DesignSpec, EngineError> {
+        let spec = self.spec;
+        if spec.instances.is_empty() || spec.po_sources.is_empty() {
+            return Err(EngineError::Spec {
+                reason: "a design needs at least one instance and one output".into(),
+            });
+        }
+        for inst in &spec.instances {
+            if inst.module.0 >= spec.modules.len() {
+                return Err(EngineError::Spec {
+                    reason: format!(
+                        "instance `{}` references missing module {}",
+                        inst.name, inst.module.0
+                    ),
+                });
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssta_netlist::generators;
+
+    #[test]
+    fn builder_validates_module_ids() {
+        let die = DieRect {
+            width: 1000.0,
+            height: 1000.0,
+        };
+        let mut b = DesignSpec::builder("d", die);
+        let m = b.add_module(generators::ripple_carry_adder(2).unwrap());
+        assert!(b.add_instance("u0", m, (0.0, 0.0)).is_ok());
+        assert!(b.add_instance("bad", ModuleId(7), (0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn finish_requires_instances_and_outputs() {
+        let die = DieRect {
+            width: 10.0,
+            height: 10.0,
+        };
+        assert!(DesignSpec::builder("d", die).finish().is_err());
+    }
+}

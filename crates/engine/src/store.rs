@@ -1,0 +1,309 @@
+//! The persistent model library: a content-addressed, versioned on-disk
+//! store of extracted [`TimingModel`]s.
+//!
+//! # On-disk format (version 1)
+//!
+//! Each model lives in its own file, `<root>/<k0k1>/<key>.stm`, where
+//! `key` is the module's 64-hex-character [`ModuleFingerprint`] and
+//! `k0k1` its first two characters (sharding keeps directories small).
+//! The file is a fixed header followed by a JSON payload:
+//!
+//! | bytes | contents |
+//! |---|---|
+//! | 0..4 | magic `SSTM` |
+//! | 4..6 | format version, u16 little-endian (currently 1) |
+//! | 6..14 | payload length in bytes, u64 little-endian |
+//! | 14..22 | integrity stamp: first 8 bytes of SHA-256(payload), big-endian |
+//! | 22.. | payload: the serialized [`TimingModel`] |
+//!
+//! Readers reject — with a precise [`EngineError::Store`] reason — files
+//! that are truncated, carry the wrong magic or an unsupported version,
+//! fail the integrity check, or do not decode. Writes go through a
+//! temporary file renamed into place, so a crashed writer never leaves a
+//! half-written artifact under a valid key.
+
+use crate::error::EngineError;
+use ssta_core::TimingModel;
+use ssta_math::digest::sha256;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every artifact.
+pub const MAGIC: [u8; 4] = *b"SSTM";
+/// The current (and only) format version.
+pub const FORMAT_VERSION: u16 = 1;
+const HEADER_LEN: usize = 22;
+
+/// A content-addressed, disk-backed library of extracted timing models.
+#[derive(Debug)]
+pub struct ModelStore {
+    root: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ModelStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let shard = key.get(..2).unwrap_or("xx");
+        self.root.join(shard).join(format!("{key}.stm"))
+    }
+
+    /// Whether an artifact exists under `key` (without validating it).
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_of(key).is_file()
+    }
+
+    /// Loads and validates the model stored under `key`; `Ok(None)` if
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] for corrupt, truncated or
+    /// wrong-version artifacts and [`EngineError::Io`] for read failures.
+    pub fn load(&self, key: &str) -> Result<Option<TimingModel>, EngineError> {
+        let path = self.path_of(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            // NotADirectory: a path component is missing or not a
+            // directory — either way, no artifact exists under this key.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::NotADirectory
+                ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let payload = decode_envelope(&bytes)?;
+        let model: TimingModel =
+            serde_json::from_slice(payload).map_err(|e| EngineError::Store {
+                reason: format!("payload of `{key}` does not decode: {e}"),
+            })?;
+        Ok(Some(model))
+    }
+
+    /// Stores `model` under `key`, atomically replacing any previous
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] for write failures.
+    pub fn save(&self, key: &str, model: &TimingModel) -> Result<(), EngineError> {
+        let payload = serde_json::to_vec(model).map_err(|e| EngineError::Store {
+            reason: format!("model does not serialize: {e}"),
+        })?;
+        let bytes = encode_envelope(&payload);
+        let path = self.path_of(key);
+        fs::create_dir_all(path.parent().expect("sharded path has a parent"))?;
+        // Unique temp name per writer: stores are shared across
+        // processes, and two engines cold-starting on the same key must
+        // not truncate each other's half-written temp file before the
+        // rename.
+        let nonce = NEXT_TMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("stm.tmp.{}.{nonce}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            // Some platforms refuse to rename over an existing (possibly
+            // open) destination; retry once after unlinking it, and clean
+            // up the temp file if the rename still fails.
+            let _ = fs::remove_file(&path);
+            if let Err(retry) = fs::rename(&tmp, &path) {
+                let _ = fs::remove_file(&tmp);
+                return Err(if retry.kind() == e.kind() { e } else { retry }.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the artifact under `key`; returns whether one existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] for removal failures other than the
+    /// file being absent.
+    pub fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        match fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Number of artifacts currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the store directories cannot be
+    /// read.
+    pub fn len(&self) -> Result<usize, EngineError> {
+        let mut n = 0;
+        for shard in fs::read_dir(&self.root)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())? {
+                if entry?.path().extension().is_some_and(|e| e == "stm") {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the store holds no artifacts.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelStore::len`].
+    pub fn is_empty(&self) -> Result<bool, EngineError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Removes every artifact in the store (all shards), including ones
+    /// written by other engines or processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the store cannot be traversed or a
+    /// file cannot be removed.
+    pub fn clear(&self) -> Result<(), EngineError> {
+        for shard in fs::read_dir(&self.root)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "stm") {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Monotonic nonce distinguishing concurrent writers within a process.
+static NEXT_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Wraps a payload in the version-1 envelope.
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&sha256(payload).prefix_u64().to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns its payload slice.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] describing the first defect found.
+pub fn decode_envelope(bytes: &[u8]) -> Result<&[u8], EngineError> {
+    let reject = |reason: String| EngineError::Store { reason };
+    if bytes.len() < HEADER_LEN {
+        return Err(reject(format!(
+            "truncated header: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(reject(format!(
+            "bad magic {:02x?}, expected {:02x?}",
+            &bytes[..4],
+            MAGIC
+        )));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(reject(format!(
+            "unsupported format version {version}, this build reads {FORMAT_VERSION}"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")) as usize;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(reject(format!(
+            "payload length mismatch: header says {len}, file has {}",
+            payload.len()
+        )));
+    }
+    let stamp = u64::from_be_bytes(bytes[14..22].try_into().expect("8 bytes"));
+    let actual = sha256(payload).prefix_u64();
+    if stamp != actual {
+        return Err(reject(format!(
+            "integrity stamp mismatch: header {stamp:016x}, payload {actual:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let payload = b"{\"hello\": 1}";
+        let bytes = encode_envelope(payload);
+        assert_eq!(decode_envelope(&bytes).unwrap(), payload);
+    }
+
+    #[test]
+    fn envelope_rejects_defects() {
+        let bytes = encode_envelope(b"payload");
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_envelope(&bad_magic),
+            Err(EngineError::Store { reason }) if reason.contains("magic")
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            decode_envelope(&bad_version),
+            Err(EngineError::Store { reason }) if reason.contains("version 99")
+        ));
+
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            decode_envelope(&flipped),
+            Err(EngineError::Store { reason }) if reason.contains("integrity")
+        ));
+
+        assert!(matches!(
+            decode_envelope(&bytes[..10]),
+            Err(EngineError::Store { reason }) if reason.contains("truncated")
+        ));
+
+        let mut short_payload = bytes;
+        short_payload.pop();
+        assert!(matches!(
+            decode_envelope(&short_payload),
+            Err(EngineError::Store { reason }) if reason.contains("length mismatch")
+        ));
+    }
+}

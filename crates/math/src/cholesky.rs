@@ -4,7 +4,7 @@
 //! model and (in tests and Monte Carlo) to sample correlated Gaussian
 //! vectors: if `A = L·Lᵀ` and `z ~ N(0, I)` then `L·z ~ N(0, A)`.
 
-use crate::{Matrix, MathError};
+use crate::{MathError, Matrix};
 
 /// Computes the lower-triangular Cholesky factor `L` with `L·Lᵀ = a`.
 ///
@@ -39,7 +39,9 @@ pub fn factor(a: &Matrix) -> Result<Matrix, MathError> {
     let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
     let asym = a.max_asymmetry();
     if asym > 1e-8 * scale {
-        return Err(MathError::NotSymmetric { max_asymmetry: asym });
+        return Err(MathError::NotSymmetric {
+            max_asymmetry: asym,
+        });
     }
 
     let mut l = Matrix::zeros(n, n);
@@ -73,8 +75,8 @@ mod tests {
 
     fn spd_3x3() -> Matrix {
         // B·Bᵀ for a full-rank B is SPD.
-        let b = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 1.5]])
-            .unwrap();
+        let b =
+            Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 1.5]]).unwrap();
         b.matmul(&b.transposed()).unwrap()
     }
 

@@ -6,7 +6,7 @@
 //! quadratically once the off-diagonal mass is small — a good match for this
 //! problem class even though it is O(n³) per sweep.
 
-use crate::{Matrix, MathError};
+use crate::{MathError, Matrix};
 
 /// The result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ`.
 #[derive(Debug, Clone)]
@@ -57,7 +57,9 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
     let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
     let asym = a.max_asymmetry();
     if asym > 1e-8 * scale {
-        return Err(MathError::NotSymmetric { max_asymmetry: asym });
+        return Err(MathError::NotSymmetric {
+            max_asymmetry: asym,
+        });
     }
 
     let mut m = a.clone();
@@ -194,12 +196,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
     }
@@ -221,11 +218,7 @@ mod tests {
         let n = 8;
         let a = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
         let e = symmetric_eigen(&a).unwrap();
-        let vtv = e
-            .eigenvectors
-            .transposed()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let vtv = e.eigenvectors.transposed().matmul(&e.eigenvectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10);
     }
 

@@ -55,7 +55,10 @@ impl fmt::Display for MathError {
                 expected.0, expected.1, found.0, found.1
             ),
             MathError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry:e})")
+                write!(
+                    f,
+                    "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry:e})"
+                )
             }
             MathError::NotPositiveDefinite { pivot } => {
                 write!(f, "matrix is not positive definite (pivot {pivot})")

@@ -46,12 +46,14 @@ mod error;
 mod matrix;
 
 pub mod cholesky;
+pub mod digest;
 pub mod eigen;
 pub mod gaussian;
 pub mod pca;
 pub mod rng;
 pub mod stats;
 
+pub use digest::{sha256, Sha256};
 pub use error::MathError;
 pub use gaussian::{clark_max, normal_cdf, normal_pdf, normal_quantile, MaxMoments};
 pub use matrix::Matrix;

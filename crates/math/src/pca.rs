@@ -17,7 +17,7 @@
 //! `ssta-core::hier::replace`).
 
 use crate::eigen::symmetric_eigen;
-use crate::{Matrix, MathError};
+use crate::{MathError, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Options controlling component retention in [`PcaBasis::from_covariance`].
@@ -198,7 +198,10 @@ mod tests {
     fn full_pca_reconstructs_covariance() {
         let c = grid_covariance(3, 2.0);
         let pca = PcaBasis::from_covariance(&c, PcaOptions::default()).unwrap();
-        let back = pca.transform().matmul(&pca.transform().transposed()).unwrap();
+        let back = pca
+            .transform()
+            .matmul(&pca.transform().transposed())
+            .unwrap();
         assert!(back.max_abs_diff(&c).unwrap() < 1e-8);
     }
 
@@ -208,7 +211,9 @@ mod tests {
         let pca = PcaBasis::from_covariance(&c, PcaOptions::default()).unwrap();
         let wt = pca.whiten().matmul(pca.transform()).unwrap();
         assert!(
-            wt.max_abs_diff(&Matrix::identity(pca.n_components())).unwrap() < 1e-8
+            wt.max_abs_diff(&Matrix::identity(pca.n_components()))
+                .unwrap()
+                < 1e-8
         );
     }
 
@@ -231,7 +236,9 @@ mod tests {
     fn correlate_then_decorrelate_round_trips() {
         let c = grid_covariance(3, 2.0);
         let pca = PcaBasis::from_covariance(&c, PcaOptions::default()).unwrap();
-        let z: Vec<f64> = (0..pca.n_components()).map(|i| (i as f64) / 3.0 - 1.0).collect();
+        let z: Vec<f64> = (0..pca.n_components())
+            .map(|i| (i as f64) / 3.0 - 1.0)
+            .collect();
         let p = pca.correlate(&z).unwrap();
         let z_back = pca.decorrelate(&p).unwrap();
         for (a, b) in z.iter().zip(&z_back) {

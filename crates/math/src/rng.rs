@@ -108,6 +108,9 @@ mod tests {
             .count() as f64
             / n as f64;
         // True value is ~0.0455.
-        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+        assert!(
+            (beyond_2sigma - 0.0455).abs() < 0.005,
+            "got {beyond_2sigma}"
+        );
     }
 }

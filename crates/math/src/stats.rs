@@ -308,7 +308,10 @@ impl EmpiricalDist {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile probability {p} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile probability {p} out of [0,1]"
+        );
         let n = self.sorted.len();
         let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
         self.sorted[idx]
@@ -345,7 +348,9 @@ mod tests {
 
     #[test]
     fn summary_basic_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         // Unbiased variance of that classic data set is 32/7.

@@ -54,15 +54,11 @@ struct FlatDesign {
 /// * [`CoreError::Config`] if an instance lacks its original
 ///   `ModuleContext` (black-box models cannot be flattened);
 /// * propagated partition/PCA/graph errors.
-pub fn flat_design_delay(
-    design: &Design,
-    options: &McOptions,
-) -> Result<EmpiricalDist, CoreError> {
+pub fn flat_design_delay(design: &Design, options: &McOptions) -> Result<EmpiricalDist, CoreError> {
     let vars = DesignVariables::build(design)?;
     let flat = flatten(design, &vars)?;
     // Per-parameter design grid transform (shared basis).
-    let transforms: Vec<&ssta_math::Matrix> =
-        vars.pca().iter().map(|b| b.transform()).collect();
+    let transforms: Vec<&ssta_math::Matrix> = vars.pca().iter().map(|b| b.transform()).collect();
     let n_components: Vec<usize> = transforms.iter().map(|t| t.cols()).collect();
 
     let threads = options.resolve_threads();
@@ -75,8 +71,7 @@ pub fn flat_design_delay(
             let transforms = &transforms;
             let n_components = &n_components;
             handles.push(s.spawn(move |_| {
-                let mut rng =
-                    seeded_rng(options.seed ^ (chunk_idx as u64).wrapping_mul(0x51_7cc1));
+                let mut rng = seeded_rng(options.seed ^ (chunk_idx as u64).wrapping_mul(0x51_7cc1));
                 let mut normal = NormalSampler::new();
                 let mut out = Vec::with_capacity(n_samples);
                 let mut g = vec![0.0; flat.n_params];
@@ -374,7 +369,9 @@ mod tests {
             },
             config,
         );
-        let u = b.add_instance("u0", model.clone(), None, (0.0, 0.0)).unwrap();
+        let u = b
+            .add_instance("u0", model.clone(), None, (0.0, 0.0))
+            .unwrap();
         for k in 0..model.n_inputs() {
             b.expose_input(vec![(u, k)]).unwrap();
         }

@@ -49,10 +49,7 @@ impl fmt::Display for NetlistError {
                 cell,
                 expected,
                 found,
-            } => write!(
-                f,
-                "cell `{cell}` expects {expected} inputs, got {found}"
-            ),
+            } => write!(f, "cell `{cell}` expects {expected} inputs, got {found}"),
             NetlistError::UnknownCell { name } => write!(f, "unknown cell type `{name}`"),
             NetlistError::InvalidSignal { context } => {
                 write!(f, "invalid signal reference: {context}")

@@ -35,16 +35,96 @@ pub struct Iscas85Spec {
 
 /// All ten benchmarks of the paper's Table I, in paper order.
 pub const ISCAS85_SPECS: [Iscas85Spec; 10] = [
-    Iscas85Spec { name: "c432", inputs: 36, outputs: 7, gates: 160, pin_connections: 336, depth: 17, structural: false },
-    Iscas85Spec { name: "c499", inputs: 41, outputs: 32, gates: 202, pin_connections: 408, depth: 11, structural: false },
-    Iscas85Spec { name: "c880", inputs: 60, outputs: 26, gates: 383, pin_connections: 729, depth: 24, structural: false },
-    Iscas85Spec { name: "c1355", inputs: 41, outputs: 32, gates: 546, pin_connections: 1064, depth: 24, structural: false },
-    Iscas85Spec { name: "c1908", inputs: 33, outputs: 25, gates: 880, pin_connections: 1498, depth: 40, structural: false },
-    Iscas85Spec { name: "c2670", inputs: 233, outputs: 140, gates: 1193, pin_connections: 2076, depth: 32, structural: false },
-    Iscas85Spec { name: "c3540", inputs: 50, outputs: 22, gates: 1669, pin_connections: 2939, depth: 47, structural: false },
-    Iscas85Spec { name: "c5315", inputs: 178, outputs: 123, gates: 2307, pin_connections: 4386, depth: 49, structural: false },
-    Iscas85Spec { name: "c6288", inputs: 32, outputs: 32, gates: 2406, pin_connections: 4800, depth: 124, structural: true },
-    Iscas85Spec { name: "c7552", inputs: 207, outputs: 108, gates: 3512, pin_connections: 6144, depth: 43, structural: false },
+    Iscas85Spec {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        pin_connections: 336,
+        depth: 17,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        pin_connections: 408,
+        depth: 11,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        pin_connections: 729,
+        depth: 24,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        pin_connections: 1064,
+        depth: 24,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        pin_connections: 1498,
+        depth: 40,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        pin_connections: 2076,
+        depth: 32,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        pin_connections: 2939,
+        depth: 47,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        pin_connections: 4386,
+        depth: 49,
+        structural: false,
+    },
+    Iscas85Spec {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2406,
+        pin_connections: 4800,
+        depth: 124,
+        structural: true,
+    },
+    Iscas85Spec {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        pin_connections: 6144,
+        depth: 43,
+        structural: false,
+    },
 ];
 
 /// Looks up the spec for a benchmark name.

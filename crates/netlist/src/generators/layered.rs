@@ -134,7 +134,10 @@ pub fn generate_layered(spec: &LayeredSpec) -> Result<Netlist, NetlistError> {
     spec.validate()?;
     let mut last_err = None;
     for attempt in 0..16u64 {
-        match generate_attempt(spec, spec.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9))) {
+        match generate_attempt(
+            spec,
+            spec.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+        ) {
             Ok(netlist) => return Ok(netlist),
             Err(e) => last_err = Some(e),
         }
@@ -193,21 +196,17 @@ fn generate_attempt(spec: &LayeredSpec, seed: u64) -> Result<Netlist, NetlistErr
             for _ in 1..f {
                 // Half the time, feed a signal that still has no consumer
                 // (from any earlier layer); this keeps dangling gates rare.
-                let starving: Option<Signal> = if rng.gen_bool(0.5) {
-                    signals_by_layer[..=l]
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .filter(|&s| {
+                let starving: Option<Signal> =
+                    if rng.gen_bool(0.5) {
+                        signals_by_layer[..=l].iter().flatten().copied().find(|&s| {
                             matches!(s, Signal::Gate(_)) && fanout[flat_index(spec, s)] == 0
                         })
-                        .nth(0)
-                } else {
-                    None
-                };
-                inputs.push(starving.unwrap_or_else(|| {
-                    pick_earlier_signal(&signals_by_layer, l, &mut rng)
-                }));
+                    } else {
+                        None
+                    };
+                inputs.push(
+                    starving.unwrap_or_else(|| pick_earlier_signal(&signals_by_layer, l, &mut rng)),
+                );
             }
 
             let cell = palette.pick(f, &mut rng);
@@ -399,6 +398,7 @@ fn select_outputs(
         }
         if !attached {
             // Exhaustive fallback over all later-layer spare pins.
+            #[allow(clippy::needless_range_loop)] // h also feeds flat_index bookkeeping
             'scan: for h in 0..n_gates {
                 if gate_layer[h] <= gl || b.gate_arity(h) < 2 {
                     continue;
@@ -427,9 +427,7 @@ fn select_outputs(
 
     // Top up with the deepest non-dangling gates.
     if outputs.len() < spec.n_outputs {
-        let mut rest: Vec<usize> = (0..n_gates)
-            .filter(|g| !outputs.contains(g))
-            .collect();
+        let mut rest: Vec<usize> = (0..n_gates).filter(|g| !outputs.contains(g)).collect();
         rest.sort_by_key(|&g| std::cmp::Reverse(gate_layer[g]));
         for g in rest {
             if outputs.len() == spec.n_outputs {

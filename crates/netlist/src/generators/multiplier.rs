@@ -117,11 +117,11 @@ pub fn array_multiplier(n: usize) -> Result<Netlist, NetlistError> {
     let mut c: Vec<Option<Signal>> = vec![None; n];
     product.push(s[0]);
 
-    for i in 1..n {
+    for pp_row in pp.iter().take(n).skip(1) {
         let mut s_next = Vec::with_capacity(n);
         let mut c_next: Vec<Option<Signal>> = Vec::with_capacity(n);
         for j in 0..n {
-            let in_pp = pp[i][j];
+            let in_pp = pp_row[j];
             let in_s = if j + 1 < n { Some(s[j + 1]) } else { None };
             let in_c = c[j];
             let (sum, carry) = match (in_s, in_c) {

@@ -363,12 +363,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate cell name")]
     fn library_rejects_duplicates() {
-        let c = CellType::new(
-            "X",
-            GateKind::Not,
-            vec![1.0],
-            Sensitivity([0.5; N_PARAMS]),
-        );
+        let c = CellType::new("X", GateKind::Not, vec![1.0], Sensitivity([0.5; N_PARAMS]));
         let _ = Library::new("dup", vec![c.clone(), c]);
     }
 }

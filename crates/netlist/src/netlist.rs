@@ -289,7 +289,11 @@ impl NetlistBuilder {
     ///   cell's arity.
     /// * [`NetlistError::InvalidSignal`] if an input refers to a gate that
     ///   has not been created yet (this is what forbids cycles).
-    pub fn add_gate(&mut self, cell: CellTypeId, inputs: &[Signal]) -> Result<Signal, NetlistError> {
+    pub fn add_gate(
+        &mut self,
+        cell: CellTypeId,
+        inputs: &[Signal],
+    ) -> Result<Signal, NetlistError> {
         let ct = self.library.cell(cell);
         if ct.arity() != inputs.len() {
             return Err(NetlistError::ArityMismatch {
@@ -457,9 +461,7 @@ mod tests {
     fn forward_reference_is_rejected() {
         let mut b = Netlist::builder("bad", lib(), 1);
         // Gate 5 does not exist yet.
-        let err = b
-            .add_gate_by_name("INV", &[Signal::Gate(5)])
-            .unwrap_err();
+        let err = b.add_gate_by_name("INV", &[Signal::Gate(5)]).unwrap_err();
         assert!(matches!(err, NetlistError::InvalidSignal { .. }));
     }
 

@@ -65,12 +65,7 @@ impl Placement {
 
         let n_in = netlist.n_inputs().max(1);
         let input_positions = (0..netlist.n_inputs())
-            .map(|i| {
-                (
-                    0.0,
-                    (i as f64 + 0.5) / n_in as f64 * die.height,
-                )
-            })
+            .map(|i| (0.0, (i as f64 + 0.5) / n_in as f64 * die.height))
             .collect();
 
         Placement {

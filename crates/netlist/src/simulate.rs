@@ -39,11 +39,7 @@ pub fn simulate(netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
     let mut pin_values: Vec<bool> = Vec::with_capacity(4);
     for (gi, gate) in netlist.gates().iter().enumerate() {
         pin_values.clear();
-        pin_values.extend(
-            gate.inputs
-                .iter()
-                .map(|&s| values[netlist.signal_index(s)]),
-        );
+        pin_values.extend(gate.inputs.iter().map(|&s| values[netlist.signal_index(s)]));
         let kind = netlist.library().cell(gate.cell).kind();
         values[netlist.n_inputs() + gi] = kind.eval(&pin_values);
     }

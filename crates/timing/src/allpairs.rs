@@ -35,7 +35,10 @@ impl<D: DelayAlgebra> DelayMatrix<D> {
     ///
     /// Panics if `i` or `j` is out of range.
     pub fn get(&self, i: usize, j: usize) -> Option<&D> {
-        assert!(i < self.n_inputs && j < self.n_outputs, "index out of range");
+        assert!(
+            i < self.n_inputs && j < self.n_outputs,
+            "index out of range"
+        );
         self.entries[i * self.n_outputs + j].as_ref()
     }
 
@@ -55,11 +58,7 @@ impl<D: DelayAlgebra> DelayMatrix<D> {
     /// Largest absolute difference of `f(delay)` against another matrix,
     /// over pairs connected in **both** matrices; also returns how many
     /// pairs are connected in one matrix but not the other.
-    pub fn compare_with(
-        &self,
-        other: &DelayMatrix<D>,
-        f: impl Fn(&D) -> f64,
-    ) -> (f64, usize) {
+    pub fn compare_with(&self, other: &DelayMatrix<D>, f: impl Fn(&D) -> f64) -> (f64, usize) {
         assert_eq!(self.n_inputs, other.n_inputs, "matrix shape mismatch");
         assert_eq!(self.n_outputs, other.n_outputs, "matrix shape mismatch");
         let mut worst = 0.0f64;
@@ -141,8 +140,7 @@ mod tests {
     fn iter_yields_connected_pairs_only() {
         let g = two_by_two();
         let m = delay_matrix(&g, || 0.0).unwrap();
-        let triples: Vec<(usize, usize, f64)> =
-            m.iter().map(|(i, j, &d)| (i, j, d)).collect();
+        let triples: Vec<(usize, usize, f64)> = m.iter().map(|(i, j, &d)| (i, j, d)).collect();
         assert_eq!(triples, vec![(0, 0, 3.0), (0, 1, 5.0), (1, 1, 3.0)]);
     }
 

@@ -178,7 +178,10 @@ impl<D: DelayAlgebra> TimingGraph<D> {
 
     /// `true` when the vertex exists and is alive.
     pub fn is_alive(&self, v: VertexId) -> bool {
-        self.vertex_alive.get(v.0 as usize).copied().unwrap_or(false)
+        self.vertex_alive
+            .get(v.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// The edge with the given id.
@@ -397,8 +400,7 @@ impl<D: DelayAlgebra> TimingGraph<D> {
         for _ in 0..netlist.n_inputs() {
             g.add_input();
         }
-        let gate_vertex =
-            |gi: usize| VertexId((netlist.n_inputs() + gi) as u32);
+        let gate_vertex = |gi: usize| VertexId((netlist.n_inputs() + gi) as u32);
         for _ in 0..netlist.n_gates() {
             g.add_vertex();
         }
@@ -466,10 +468,7 @@ mod tests {
     #[test]
     fn remove_edge_updates_adjacency() {
         let (mut g, a, o) = diamond();
-        let parallel: Vec<EdgeId> = g
-            .out_edges(a)
-            .filter(|&e| g.edge(e).to == o)
-            .collect();
+        let parallel: Vec<EdgeId> = g.out_edges(a).filter(|&e| g.edge(e).to == o).collect();
         g.remove_edge(parallel[0]);
         assert_eq!(g.n_edges(), 4);
         assert_eq!(g.out_degree(a), 1);

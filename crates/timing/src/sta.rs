@@ -43,7 +43,7 @@ pub fn critical_path(graph: &TimingGraph<f64>) -> Result<(f64, Vec<EdgeId>), Tim
     let mut end = None;
     for &v in graph.outputs() {
         if let Some(d) = arrival[v.0 as usize] {
-            if end.map_or(true, |(_, best)| d > best) {
+            if end.is_none_or(|(_, best)| d > best) {
                 end = Some((v, d));
             }
         }

@@ -1,0 +1,81 @@
+//! Minimal offline stand-in for the `crossbeam` scoped-thread API,
+//! implemented over `std::thread::scope` (stable since Rust 1.63). Only
+//! the surface this workspace uses is provided: `thread::scope`, a
+//! `Scope::spawn` whose closure receives the scope, and joinable handles.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A panic payload, as returned by [`ScopedJoinHandle::join`].
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Wrapper over [`std::thread::Scope`] mirroring crossbeam's API.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Wrapper over [`std::thread::ScopedJoinHandle`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (so it
+        /// can spawn nested work), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data may be shared with
+    /// spawned threads; all threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (std's scope propagates child panics by
+    /// panicking); the `Result` mirrors crossbeam's signature.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(30) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+}

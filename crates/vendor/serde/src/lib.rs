@@ -1,0 +1,438 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is unavailable in this build environment, so this
+//! vendored crate provides the subset the workspace actually uses: the
+//! [`Serialize`]/[`Deserialize`] traits (value-tree based rather than
+//! visitor based), derive macros re-exported from `serde_derive`, and the
+//! [`Value`] data model that `serde_json` renders to and from JSON text.
+//!
+//! The wire behaviour mirrors real serde where it matters for this
+//! workspace: structs become string-keyed maps, newtype structs collapse
+//! to their inner value, enums are externally tagged, maps serialize with
+//! sorted keys (so output is deterministic and hashable).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `name` in a map value; errors for missing keys/non-maps.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::custom(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as a sequence of exactly `n` elements.
+    pub fn seq_n(&self, n: usize) -> Result<&[Value], DeError> {
+        match self {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(DeError::custom(format!(
+                "expected sequence of {n} elements, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Value::U64(x) => Ok(*x),
+            Value::I64(x) if *x >= 0 => Ok(*x as u64),
+            Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as u64),
+            other => Err(DeError::custom(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Value::I64(x) => Ok(*x),
+            Value::U64(x) if *x <= i64::MAX as u64 => Ok(*x as i64),
+            Value::F64(x) if x.fract() == 0.0 => Ok(*x as i64),
+            other => Err(DeError::custom(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v.as_u64()?;
+                <$t>::try_from(x).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v.as_i64()?;
+                <$t>::try_from(x).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.seq_n(N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.seq_n(LEN)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Map(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn integer_coercions() {
+        assert_eq!(u64::from_value(&Value::I64(5)).unwrap(), 5);
+        assert_eq!(i64::from_value(&Value::U64(5)).unwrap(), 5);
+        assert_eq!(f64::from_value(&Value::I64(2)).unwrap(), 2.0);
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn maps_serialize_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        match m.to_value() {
+            Value::Map(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            _ => panic!("expected map"),
+        }
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<f64>::None.to_value(), Value::Null);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::F64(1.0)).unwrap(),
+            Some(1.0)
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+    }
+}

@@ -1,0 +1,463 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually contains, parsing the raw token
+//! stream directly (no `syn`/`quote` available offline):
+//!
+//! * structs with named fields (optionally generic over type parameters);
+//! * tuple structs (newtypes collapse to the inner value, like serde);
+//! * enums with unit and tuple variants (externally tagged, like serde);
+//! * the field attributes `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]`.
+//!
+//! Anything outside that set panics at compile time with a clear message,
+//! which is the right failure mode for a vendored shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    let mut is_struct = true;
+    loop {
+        match tokens.get(i) {
+            Some(tt) if is_punct(tt, '#') => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                i += 1;
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                } else if s == "struct" {
+                    break;
+                } else if s == "enum" {
+                    is_struct = false;
+                    break;
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    i += 1;
+
+    // Generic type parameters: collect the first identifier of each
+    // comma-separated slot inside the angle brackets (lifetimes and const
+    // params are not used by any derived type in this workspace).
+    let mut generics = Vec::new();
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expecting = true;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                tt if is_punct(tt, '<') => depth += 1,
+                tt if is_punct(tt, '>') => depth -= 1,
+                tt if is_punct(tt, ',') && depth == 1 => expecting = true,
+                TokenTree::Ident(id) if expecting => {
+                    generics.push(id.to_string());
+                    expecting = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Skip any `where` clause tokens; the body is the first brace group
+    // (named fields / enum variants) or paren group (tuple struct).
+    while i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[i] {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    let data = if is_struct {
+                        Data::Named(parse_named_fields(g.stream()))
+                    } else {
+                        Data::Enum(parse_variants(g.stream()))
+                    };
+                    return Item {
+                        name,
+                        generics,
+                        data,
+                    };
+                }
+                Delimiter::Parenthesis if is_struct => {
+                    return Item {
+                        name,
+                        generics,
+                        data: Data::Tuple(count_tuple_fields(g.stream())),
+                    };
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    panic!("could not find the body of `{name}`");
+}
+
+/// Extracts `skip`/`default = "path"` from a `#[serde(...)]` attribute
+/// group (the bracket group following `#`); other attributes are ignored.
+fn scan_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut Option<String>) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(id) = &args[j] {
+            match id.to_string().as_str() {
+                "skip" => *skip = true,
+                "default" => {
+                    if args.get(j + 1).is_some_and(|t| is_punct(t, '=')) {
+                        if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                            let raw = lit.to_string();
+                            *default = Some(raw.trim_matches('"').to_string());
+                            j += 2;
+                        }
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+        }
+        j += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut default = None;
+        while tokens.get(i).is_some_and(|t| is_punct(t, '#')) {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                scan_attr(g, &mut skip, &mut default);
+            }
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma / end of fields
+        };
+        let name = id.to_string();
+        i += 1;
+        assert!(
+            tokens.get(i).is_some_and(|t| is_punct(t, ':')),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generic arguments do not end the field.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            let tt = &tokens[i];
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth -= 1;
+            } else if is_punct(tt, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while tokens.get(i).is_some_and(|t| is_punct(t, '#')) {
+            i += 2; // variant doc comments etc.
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_fields(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("struct-style enum variant `{name}` is not supported by the serde shim");
+            }
+            _ => {}
+        }
+        if tokens.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+/// Counts the comma-separated type slots of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut slots = 0usize;
+    let mut slot_has_content = false;
+    for tt in stream {
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+        } else if is_punct(&tt, ',') && depth == 0 {
+            if slot_has_content {
+                slots += 1;
+            }
+            slot_has_content = false;
+            continue;
+        }
+        // `pub` and type tokens both count as content.
+        slot_has_content = true;
+    }
+    if slot_has_content {
+        slots += 1;
+    }
+    slots
+}
+
+/// Builds `impl<T: Bound, ...>` / `Name<T, ...>` strings for the impl.
+fn impl_generics(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let used = item.generics.join(", ");
+    (format!("<{decl}>"), format!("<{used}>"))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (decl, used) = impl_generics(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let mut b = String::from("let mut m = ::std::vec::Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            b.push_str("::serde::Value::Map(m)");
+            b
+        }
+        Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(vec![{items}])")
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "Self::{vn}(f0) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    n => {
+                        let binds = (0..n)
+                            .map(|k| format!("f{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..n)
+                            .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "Self::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Serialize for {name}{used} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (decl, used) = impl_generics(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    match &f.default {
+                        Some(path) => inits.push_str(&format!("{}: {path}(),\n", f.name)),
+                        None => inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        )),
+                    }
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(v.field(\"{0}\")?)?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok(Self {{\n{inits}}})")
+        }
+        Data::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Data::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items = v.seq_n({n})?;\n\
+                 ::std::result::Result::Ok(Self({items}))"
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+                    )),
+                    1 => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         Self::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    n => {
+                        let items = (0..n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let items = inner.seq_n({n})?; \
+                             ::std::result::Result::Ok(Self::{vn}({items})) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected enum representation for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Deserialize for {name}{used} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -9,7 +9,7 @@
 
 use hier_ssta::core::{yield_analysis, ModuleContext, SstaConfig};
 use hier_ssta::netlist::generators;
-use hier_ssta::timing::{sta, DelayAlgebra, TimingGraph};
+use hier_ssta::timing::{sta, TimingGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = generators::iscas85("c1355")?;

@@ -15,7 +15,11 @@
 //!   grid-based spatial correlation, edge criticality, gray-box timing
 //!   model extraction, and correlation-aware hierarchical analysis via
 //!   independent-variable replacement;
-//! * [`mc`] — Monte Carlo ground truth.
+//! * [`mc`] — Monte Carlo ground truth;
+//! * [`engine`] — the analysis engine: a persistent content-addressed
+//!   model library, a deduplicating parallel scheduler over hierarchical
+//!   design specs, and incremental re-analysis with per-module
+//!   invalidation.
 //!
 //! # Quickstart
 //!
@@ -40,6 +44,7 @@
 //! analysis.
 
 pub use ssta_core as core;
+pub use ssta_engine as engine;
 pub use ssta_math as math;
 pub use ssta_mc as mc;
 pub use ssta_netlist as netlist;

@@ -26,7 +26,10 @@ fn quad_design() -> Design {
         )
         .expect("characterize"),
     );
-    let model = Arc::new(ctx.extract_model(&ExtractOptions::default()).expect("extract"));
+    let model = Arc::new(
+        ctx.extract_model(&ExtractOptions::default())
+            .expect("extract"),
+    );
     let (w, h) = model.geometry().extent_um();
     let mut b = DesignBuilder::new(
         "quad",
@@ -106,7 +109,8 @@ fn global_only_underestimates_the_spread() {
 
     // The ordering the paper's Fig. 7 shows.
     assert!(global.delay.std_dev() < proposed.delay.std_dev());
-    assert!(global.delay.std_dev() < 0.95 * mc.std_dev(),
+    assert!(
+        global.delay.std_dev() < 0.95 * mc.std_dev(),
         "global-only sigma {} should clearly undershoot MC {}",
         global.delay.std_dev(),
         mc.std_dev()

@@ -3,8 +3,7 @@
 //! design-level analysis results.
 
 use hier_ssta::core::{
-    analyze, CorrelationMode, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig,
-    TimingModel,
+    analyze, CorrelationMode, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig, TimingModel,
 };
 use hier_ssta::netlist::{generators, DieRect};
 use std::sync::Arc;
@@ -52,7 +51,9 @@ fn reloaded_model_analyzes_identically_in_a_design() {
             },
             SstaConfig::paper(),
         );
-        let u0 = b.add_instance("u0", m.clone(), None, (0.0, 0.0)).expect("u0");
+        let u0 = b
+            .add_instance("u0", m.clone(), None, (0.0, 0.0))
+            .expect("u0");
         let u1 = b.add_instance("u1", m.clone(), None, (w, 0.0)).expect("u1");
         for k in 0..m.n_outputs().min(m.n_inputs()) {
             b.connect(u0, k, u1, k, 0.0).expect("wire");
