@@ -8,34 +8,110 @@
 //!   instance is characterized and extracted from scratch, serially;
 //! * `engine/cold_cache` — fresh engine, empty caches: fingerprint
 //!   deduplication collapses the four instances into one extraction;
-//! * `engine/warm_store` — fresh engine over a pre-warmed persistent
-//!   model library: zero extractions, models deserialized from disk.
+//! * `engine/warm_store/{json,binary}` — fresh engine over a
+//!   pre-warmed persistent model library: zero extractions, models
+//!   deserialized from disk, once per payload codec (the binary codec
+//!   exists to win exactly this path).
 //!
 //! A fourth group compares serial vs parallel scheduling on a design
 //! with three *distinct* modules, where the worker pool actually fans
 //! out.
+//!
+//! Before the timed runs, the harness prints the per-codec artifact
+//! sizes for the benchmarked multiplier module and for ISCAS-85 c880
+//! (the paper's headline circuit), straight from the engines' byte
+//! accounting — no store re-reading.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssta_bench::{four_model_design, four_multiplier_spec};
 use ssta_core::{analyze, CorrelationMode, ExtractOptions, ModuleContext, SstaConfig};
-use ssta_engine::{DesignSpec, Engine, EngineOptions};
-use ssta_netlist::generators::array_multiplier;
+use ssta_engine::{Codec, DesignSpec, Engine, EngineOptions};
+use ssta_netlist::generators::{array_multiplier, iscas85};
 use ssta_netlist::DieRect;
 use std::sync::Arc;
 
 const WIDTH: usize = 5;
 
+/// Per-codec payload sizes of one module's artifact, measured through
+/// the engine's own `store_bytes_written` accounting.
+fn report_artifact_sizes(name: &str, netlist: &ssta_netlist::Netlist) {
+    let config = SstaConfig::paper();
+    // Round the die up to whole grid pitches: the module's grid extent
+    // rounds partial grids up, and an instance must fit its design die.
+    let placed = ssta_netlist::Placement::rows(netlist, config.cell_pitch_um).die();
+    let pitch = config.grid_pitch_um();
+    let die = DieRect {
+        width: (placed.width / pitch).ceil().max(1.0) * pitch,
+        height: (placed.height / pitch).ceil().max(1.0) * pitch,
+    };
+    let mut sizes = Vec::new();
+    for codec in [Codec::Json, Codec::Binary] {
+        let dir = std::env::temp_dir().join(format!(
+            "hier-ssta-bench-sizes-{}-{name}-{}",
+            std::process::id(),
+            codec.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = DesignSpec::builder(name, die);
+        let m = b.add_module(netlist.clone());
+        let inst = b.add_instance("u0", m, (0.0, 0.0)).expect("place");
+        for k in 0..netlist.n_inputs() {
+            b.expose_input(vec![(inst, k)]);
+        }
+        for k in 0..netlist.n_outputs() {
+            b.expose_output(inst, k);
+        }
+        let spec = b.finish().expect("spec");
+        let mut engine = Engine::with_options(
+            SstaConfig::paper(),
+            EngineOptions {
+                codec,
+                ..EngineOptions::default()
+            },
+        )
+        .with_store(&dir)
+        .expect("store");
+        let run = engine.analyze(&spec).expect("analysis");
+        assert_eq!(run.stats.store_writes, 1);
+        sizes.push((codec, run.stats.store_bytes_written));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let json = sizes[0].1.max(1);
+    println!(
+        "artifact sizes [{name}]: json {} B, binary {} B ({:.1}% of json)",
+        sizes[0].1,
+        sizes[1].1,
+        100.0 * sizes[1].1 as f64 / json as f64
+    );
+}
+
 fn bench_reuse(c: &mut Criterion) {
     let spec = four_multiplier_spec(WIDTH);
-    let store_dir =
-        std::env::temp_dir().join(format!("hier-ssta-bench-store-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&store_dir);
-    // Pre-warm the persistent library once.
-    Engine::new(SstaConfig::paper())
-        .with_store(&store_dir)
+    report_artifact_sizes("mul5", &array_multiplier(WIDTH).expect("generator"));
+    report_artifact_sizes("c880", &iscas85("c880").expect("generator"));
+
+    // Pre-warm one persistent library per codec.
+    let store_dir = |codec: Codec| {
+        std::env::temp_dir().join(format!(
+            "hier-ssta-bench-store-{}-{}",
+            std::process::id(),
+            codec.name()
+        ))
+    };
+    for codec in [Codec::Json, Codec::Binary] {
+        let _ = std::fs::remove_dir_all(store_dir(codec));
+        Engine::with_options(
+            SstaConfig::paper(),
+            EngineOptions {
+                codec,
+                ..EngineOptions::default()
+            },
+        )
+        .with_store(store_dir(codec))
         .expect("store")
         .analyze(&spec)
         .expect("warmup");
+    }
 
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
@@ -67,17 +143,27 @@ fn bench_reuse(c: &mut Criterion) {
                 .expect("cold analysis")
         })
     });
-    group.bench_function("engine/warm_store", |b| {
-        b.iter(|| {
-            Engine::new(SstaConfig::paper())
-                .with_store(&store_dir)
+    for codec in [Codec::Json, Codec::Binary] {
+        group.bench_function(format!("engine/warm_store/{}", codec.name()), |b| {
+            b.iter(|| {
+                Engine::with_options(
+                    SstaConfig::paper(),
+                    EngineOptions {
+                        codec,
+                        ..EngineOptions::default()
+                    },
+                )
+                .with_store(store_dir(codec))
                 .expect("store")
                 .analyze(&spec)
                 .expect("warm analysis")
-        })
-    });
+            })
+        });
+    }
     group.finish();
-    let _ = std::fs::remove_dir_all(&store_dir);
+    for codec in [Codec::Json, Codec::Binary] {
+        let _ = std::fs::remove_dir_all(store_dir(codec));
+    }
 }
 
 /// Three distinct multipliers side by side — no shared definition, so

@@ -1,0 +1,549 @@
+//! The compact binary model codec (SSTM payload codec 1).
+//!
+//! Extracted [`TimingModel`]s are the product the DATE'09 flow ships
+//! across the IP-vendor/integrator boundary, so their wire format is a
+//! contract. JSON (payload codec 0) is self-describing but bulky — a
+//! c880 model weighs ~118 KiB, dominated by `f64`s printed at 17
+//! significant digits. This codec stores the same structure as a
+//! deterministic, length-prefixed binary stream built on
+//! [`ssta_math::codec`]:
+//!
+//! * every `f64` is its 8-byte IEEE-754 bit pattern (bit-exact — a
+//!   decoded model re-encodes to *identical bytes* and analyzes to
+//!   *identical bits*, which the engine's parallel-determinism
+//!   guarantees rely on);
+//! * every count/index is an LEB128 varint, so the small integers that
+//!   dominate graph topology cost one byte;
+//! * every variable-length field is length-prefixed and bounds-checked
+//!   against structural limits, so corrupted lengths fail with a
+//!   precise [`CoreError::Codec`] instead of an allocation bomb.
+//!
+//! The stream opens with a one-byte **layout version** (currently
+//! [`MODEL_CODEC_VERSION`]) so the payload format can evolve
+//! independently of the store's envelope version; readers reject
+//! unknown layouts up front.
+//!
+//! Field order mirrors the logical structure: name, configuration,
+//! grid geometry, variable layout, PCA bases, timing graph (raw slots,
+//! tombstones included — see [`ssta_timing::RawGraphParts`]), and
+//! extraction stats. The graph's input list is *not* stored: it is
+//! fully determined by the `Input(i)` vertex kinds and re-derived on
+//! decode, which both saves bytes and makes that invariant
+//! unforgeable.
+
+use crate::canonical::CanonicalForm;
+use crate::extract::{ExtractionStats, TimingModel};
+use crate::params::{ParameterSpec, SstaConfig, VariableLayout};
+use crate::spatial::{CorrelationModel, GridGeometry};
+use crate::CoreError;
+use ssta_math::codec::{ByteReader, ByteWriter, CodecError};
+use ssta_math::{Matrix, PcaBasis, PcaOptions};
+use ssta_netlist::ProcessParam;
+use ssta_timing::{RawGraphParts, TimingGraph, VertexId, VertexKind};
+
+/// Version byte opening every binary model payload.
+pub const MODEL_CODEC_VERSION: u8 = 1;
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Encodes a model into the deterministic binary payload.
+///
+/// Same model in, same bytes out — encoding is a pure function with no
+/// iteration-order or formatting freedom, so content-addressed stores
+/// and integrity stamps over the payload are stable.
+pub fn encode_model(model: &TimingModel) -> Vec<u8> {
+    // Pre-size roughly: the graph dominates, ~8 bytes per coefficient.
+    let mut w = ByteWriter::with_capacity(1024 + model.edge_count() * 64);
+    w.put_u8(MODEL_CODEC_VERSION);
+    w.put_str(model.name());
+    encode_config(&mut w, model.config());
+    encode_geometry(&mut w, model.geometry());
+    encode_layout(&mut w, model.layout());
+    w.put_usize(model.pca().len());
+    for basis in model.pca() {
+        encode_pca(&mut w, basis);
+    }
+    encode_graph(&mut w, model.graph());
+    encode_stats(&mut w, model.stats());
+    w.into_bytes()
+}
+
+/// Decodes a binary payload produced by [`encode_model`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Codec`] for truncated or structurally invalid
+/// payloads and unknown layout versions, with the byte offset of the
+/// first defect.
+pub fn decode_model(bytes: &[u8]) -> Result<TimingModel, CoreError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.get_u8()?;
+    if version != MODEL_CODEC_VERSION {
+        return Err(CoreError::Codec {
+            reason: format!(
+                "unknown binary model layout {version}, this build reads {MODEL_CODEC_VERSION}"
+            ),
+        });
+    }
+    let name = r.get_str()?;
+    let config = decode_config(&mut r)?;
+    let geometry = decode_geometry(&mut r)?;
+    let layout = decode_layout(&mut r)?;
+    let n_pca = r.get_len(r.remaining())?;
+    let mut pca = Vec::with_capacity(n_pca);
+    for _ in 0..n_pca {
+        pca.push(decode_pca(&mut r)?);
+    }
+    let graph = decode_graph(&mut r)?;
+    let stats = decode_stats(&mut r)?;
+    r.finish()?;
+    Ok(TimingModel::from_codec_parts(
+        name, graph, geometry, layout, pca, config, stats,
+    ))
+}
+
+fn encode_config(w: &mut ByteWriter, config: &SstaConfig) {
+    w.put_usize(config.parameters.len());
+    for p in &config.parameters {
+        w.put_u8(p.param.index() as u8);
+        w.put_f64(p.sigma_rel);
+    }
+    let c = &config.correlation;
+    w.put_f64(c.global_share);
+    w.put_f64(c.local_share);
+    w.put_f64(c.random_share);
+    w.put_f64(c.decay_per_grid);
+    w.put_f64(c.cutoff_grids);
+    w.put_f64(config.cell_pitch_um);
+    w.put_usize(config.grid_side_cells);
+    w.put_f64(config.pca.variance_fraction);
+    w.put_f64(config.pca.min_eigenvalue);
+}
+
+fn decode_config(r: &mut ByteReader<'_>) -> Result<SstaConfig, CoreError> {
+    let n = r.get_len(ProcessParam::ALL.len())?;
+    let mut parameters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = r.get_u8()? as usize;
+        let param = *ProcessParam::ALL.get(idx).ok_or_else(|| CoreError::Codec {
+            reason: format!("unknown process parameter index {idx}"),
+        })?;
+        let sigma_rel = r.get_f64()?;
+        parameters.push(ParameterSpec { param, sigma_rel });
+    }
+    let correlation = CorrelationModel {
+        global_share: r.get_f64()?,
+        local_share: r.get_f64()?,
+        random_share: r.get_f64()?,
+        decay_per_grid: r.get_f64()?,
+        cutoff_grids: r.get_f64()?,
+    };
+    Ok(SstaConfig {
+        parameters,
+        correlation,
+        cell_pitch_um: r.get_f64()?,
+        grid_side_cells: r.get_usize()?,
+        pca: PcaOptions {
+            variance_fraction: r.get_f64()?,
+            min_eigenvalue: r.get_f64()?,
+        },
+    })
+}
+
+fn encode_geometry(w: &mut ByteWriter, g: GridGeometry) {
+    let (ox, oy) = g.origin();
+    w.put_f64(ox);
+    w.put_f64(oy);
+    w.put_f64(g.pitch());
+    w.put_usize(g.nx());
+    w.put_usize(g.ny());
+}
+
+fn decode_geometry(r: &mut ByteReader<'_>) -> Result<GridGeometry, CoreError> {
+    let origin = (r.get_f64()?, r.get_f64()?);
+    let pitch = r.get_f64()?;
+    let nx = r.get_usize()?;
+    let ny = r.get_usize()?;
+    Ok(GridGeometry::from_raw_parts(origin, pitch, nx, ny))
+}
+
+fn encode_layout(w: &mut ByteWriter, layout: &VariableLayout) {
+    w.put_usize(layout.n_params());
+    for p in 0..layout.n_params() {
+        w.put_usize(layout.local_range(p).len());
+    }
+}
+
+fn decode_layout(r: &mut ByteReader<'_>) -> Result<VariableLayout, CoreError> {
+    // Structural bounds keep the prefix sum in `VariableLayout::new`
+    // far from usize overflow on corrupted counts: parameters are a
+    // handful (4 today), local PCA components a few hundred per
+    // parameter.
+    const MAX_PARAMS: usize = 256;
+    const MAX_LOCALS_PER_PARAM: usize = 1 << 32;
+    let n = r.get_len(MAX_PARAMS)?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.get_len(MAX_LOCALS_PER_PARAM)?);
+    }
+    Ok(VariableLayout::new(&counts))
+}
+
+fn encode_matrix(w: &mut ByteWriter, m: &Matrix) {
+    w.put_usize(m.rows());
+    w.put_usize(m.cols());
+    for &v in m.as_slice() {
+        w.put_f64(v);
+    }
+}
+
+fn decode_matrix(r: &mut ByteReader<'_>) -> Result<Matrix, CoreError> {
+    let rows = r.get_len(r.remaining() / 8)?;
+    let cols = r.get_len(r.remaining() / 8)?;
+    let n = rows.checked_mul(cols).ok_or_else(|| CoreError::Codec {
+        reason: format!("matrix shape {rows}x{cols} overflows"),
+    })?;
+    if n > r.remaining() / 8 {
+        return Err(CoreError::Codec {
+            reason: format!(
+                "matrix shape {rows}x{cols} needs {} bytes, stream has {}",
+                n * 8,
+                r.remaining()
+            ),
+        });
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.get_f64()?);
+    }
+    Matrix::from_vec(rows, cols, data).map_err(|e| CoreError::Codec {
+        reason: format!("stored matrix is inconsistent: {e}"),
+    })
+}
+
+fn encode_pca(w: &mut ByteWriter, basis: &PcaBasis) {
+    encode_matrix(w, basis.transform());
+    encode_matrix(w, basis.whiten());
+    w.put_f64_slice(basis.eigenvalues());
+    w.put_f64(basis.total_variance());
+}
+
+fn decode_pca(r: &mut ByteReader<'_>) -> Result<PcaBasis, CoreError> {
+    let transform = decode_matrix(r)?;
+    let whiten = decode_matrix(r)?;
+    let eigenvalues = r.get_f64_vec()?;
+    let total_variance = r.get_f64()?;
+    PcaBasis::from_raw_parts(transform, whiten, eigenvalues, total_variance).map_err(|e| {
+        CoreError::Codec {
+            reason: format!("stored PCA basis is inconsistent: {e}"),
+        }
+    })
+}
+
+fn encode_form(w: &mut ByteWriter, form: &CanonicalForm) {
+    w.put_f64(form.mean());
+    w.put_f64_slice(form.globals());
+    w.put_f64_slice(form.locals());
+    w.put_f64(form.random());
+}
+
+fn decode_form(r: &mut ByteReader<'_>) -> Result<CanonicalForm, CoreError> {
+    let nominal = r.get_f64()?;
+    let globals = r.get_f64_vec()?;
+    let locals = r.get_f64_vec()?;
+    let random = r.get_f64()?;
+    CanonicalForm::from_parts(nominal, globals, locals, random).map_err(|e| CoreError::Codec {
+        reason: format!("stored canonical form is invalid: {e}"),
+    })
+}
+
+fn encode_graph(w: &mut ByteWriter, graph: &TimingGraph<CanonicalForm>) {
+    let raw = graph.to_raw_parts();
+    w.put_usize(raw.kinds.len());
+    for (kind, &alive) in raw.kinds.iter().zip(&raw.vertex_alive) {
+        match kind {
+            VertexKind::Internal => w.put_u8(0),
+            VertexKind::Input(i) => {
+                w.put_u8(1);
+                w.put_varint(u64::from(*i));
+            }
+        }
+        w.put_bool(alive);
+    }
+    w.put_usize(raw.edges.len());
+    for (from, to, delay, alive) in &raw.edges {
+        w.put_varint(u64::from(from.0));
+        w.put_varint(u64::from(to.0));
+        w.put_bool(*alive);
+        encode_form(w, delay);
+    }
+    w.put_usize(raw.outputs.len());
+    for v in &raw.outputs {
+        w.put_varint(u64::from(v.0));
+    }
+    // raw.inputs is intentionally not stored: the decoder re-derives it
+    // from the Input(i) vertex kinds.
+}
+
+fn decode_graph(r: &mut ByteReader<'_>) -> Result<TimingGraph<CanonicalForm>, CoreError> {
+    let vertex_id = |r: &mut ByteReader<'_>| -> Result<VertexId, CoreError> {
+        let v = r.get_varint()?;
+        u32::try_from(v)
+            .map(VertexId)
+            .map_err(|_| CoreError::Codec {
+                reason: format!("vertex id {v} exceeds u32"),
+            })
+    };
+
+    let n_vertices = r.get_len(r.remaining() / 2)?;
+    let mut kinds = Vec::with_capacity(n_vertices);
+    let mut vertex_alive = Vec::with_capacity(n_vertices);
+    let mut inputs: Vec<Option<VertexId>> = Vec::new();
+    for slot in 0..n_vertices {
+        let kind = match r.get_u8()? {
+            0 => VertexKind::Internal,
+            1 => {
+                let i = r.get_varint()?;
+                // Every input index addresses a distinct vertex, so a
+                // valid index is always below the vertex count — bound
+                // it structurally before sizing `inputs` by it.
+                let i = u32::try_from(i)
+                    .ok()
+                    .filter(|&i| (i as usize) < n_vertices)
+                    .ok_or_else(|| CoreError::Codec {
+                        reason: format!("input index {i} out of range for {n_vertices} vertices"),
+                    })?;
+                let idx = i as usize;
+                if idx >= inputs.len() {
+                    inputs.resize(idx + 1, None);
+                }
+                if inputs[idx].replace(VertexId(slot as u32)).is_some() {
+                    return Err(CoreError::Codec {
+                        reason: format!("duplicate input index {idx}"),
+                    });
+                }
+                VertexKind::Input(i)
+            }
+            t => {
+                return Err(CoreError::Codec {
+                    reason: format!("unknown vertex kind tag {t}"),
+                })
+            }
+        };
+        kinds.push(kind);
+        vertex_alive.push(r.get_bool()?);
+    }
+    let inputs: Vec<VertexId> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.ok_or_else(|| CoreError::Codec {
+                reason: format!("input index {i} has no vertex"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n_edges = r.get_len(r.remaining() / 19)?; // ≥ 19 bytes per edge slot
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let from = vertex_id(r)?;
+        let to = vertex_id(r)?;
+        let alive = r.get_bool()?;
+        let delay = decode_form(r)?;
+        edges.push((from, to, delay, alive));
+    }
+
+    let n_outputs = r.get_len(r.remaining())?;
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        outputs.push(vertex_id(r)?);
+    }
+
+    TimingGraph::from_raw_parts(RawGraphParts {
+        kinds,
+        vertex_alive,
+        edges,
+        inputs,
+        outputs,
+    })
+    .map_err(|e| CoreError::Codec {
+        reason: format!("stored graph is inconsistent: {e}"),
+    })
+}
+
+fn encode_stats(w: &mut ByteWriter, s: &ExtractionStats) {
+    w.put_usize(s.original_edges);
+    w.put_usize(s.original_vertices);
+    w.put_usize(s.edges_pruned);
+    w.put_usize(s.restored_paths);
+    w.put_usize(s.repaired_pairs);
+    w.put_usize(s.merge_rounds);
+    w.put_usize(s.serial_merges);
+    w.put_usize(s.parallel_merges);
+    w.put_usize(s.model_edges);
+    w.put_usize(s.model_vertices);
+    w.put_f64(s.extraction_seconds);
+}
+
+fn decode_stats(r: &mut ByteReader<'_>) -> Result<ExtractionStats, CoreError> {
+    Ok(ExtractionStats {
+        original_edges: r.get_usize()?,
+        original_vertices: r.get_usize()?,
+        edges_pruned: r.get_usize()?,
+        restored_paths: r.get_usize()?,
+        repaired_pairs: r.get_usize()?,
+        merge_rounds: r.get_usize()?,
+        serial_merges: r.get_usize()?,
+        parallel_merges: r.get_usize()?,
+        model_edges: r.get_usize()?,
+        model_vertices: r.get_usize()?,
+        extraction_seconds: r.get_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleContext;
+    use ssta_netlist::generators;
+
+    fn model(bits: usize) -> TimingModel {
+        let n = generators::ripple_carry_adder(bits).unwrap();
+        let ctx = ModuleContext::characterize(n, &SstaConfig::paper()).unwrap();
+        ctx.extract_model(&crate::ExtractOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let m = model(4);
+        assert_eq!(encode_model(&m), encode_model(&m));
+    }
+
+    #[test]
+    fn round_trip_reencodes_to_identical_bytes() {
+        let m = model(5);
+        let bytes = encode_model(&m);
+        let back = decode_model(&bytes).unwrap();
+        assert_eq!(
+            encode_model(&back),
+            bytes,
+            "decode ∘ encode must be identity"
+        );
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.edge_count(), m.edge_count());
+        assert_eq!(back.vertex_count(), m.vertex_count());
+        assert_eq!(back.config(), m.config());
+        assert_eq!(back.layout(), m.layout());
+    }
+
+    #[test]
+    fn round_trip_preserves_delay_matrix_bits() {
+        let m = model(4);
+        let back = decode_model(&encode_model(&m)).unwrap();
+        let a = m.delay_matrix().unwrap();
+        let b = back.delay_matrix().unwrap();
+        let (worst_mean, mismatched) = a.compare_with(&b, |d| d.mean());
+        assert_eq!(mismatched, 0);
+        assert_eq!(worst_mean, 0.0);
+        let (worst_sigma, _) = a.compare_with(&b, |d| d.std_dev());
+        assert_eq!(worst_sigma, 0.0);
+    }
+
+    #[test]
+    fn binary_payload_is_much_smaller_than_json() {
+        let m = model(6);
+        let json = serde_json::to_vec(&m).unwrap();
+        let binary = encode_model(&m);
+        assert!(
+            binary.len() * 2 <= json.len(),
+            "binary {} vs JSON {}: expected ≤ 50%",
+            binary.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_unknown_layout_version() {
+        let m = model(2);
+        let mut bytes = encode_model(&m);
+        bytes[0] = MODEL_CODEC_VERSION + 1;
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(CoreError::Codec { reason }) if reason.contains("layout")
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_at_every_prefix_length() {
+        let m = model(2);
+        let bytes = encode_model(&m);
+        // Every strict prefix must fail cleanly, never panic. Step a few
+        // bytes at a time to keep the test fast.
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                decode_model(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_bounds_hostile_input_index() {
+        // A vertex claiming input index u32::MAX must be rejected by the
+        // structural bound (index < vertex count), not amplified into a
+        // multi-gigabyte `inputs` allocation.
+        let m = model(2);
+        let mut w = ByteWriter::new();
+        w.put_u8(MODEL_CODEC_VERSION);
+        w.put_str(m.name());
+        encode_config(&mut w, m.config());
+        encode_geometry(&mut w, m.geometry());
+        encode_layout(&mut w, m.layout());
+        w.put_usize(0); // no PCA bases
+        w.put_usize(1); // one vertex slot...
+        w.put_u8(1); // ...of Input kind...
+        w.put_varint(u64::from(u32::MAX)); // ...with a hostile index
+        w.put_bool(true);
+        assert!(matches!(
+            decode_model(&w.into_bytes()),
+            Err(CoreError::Codec { reason }) if reason.contains("out of range")
+        ));
+    }
+
+    #[test]
+    fn decoder_bounds_hostile_layout_counts() {
+        // Layout counts near u64::MAX must fail as a codec error, not
+        // overflow the prefix sum inside VariableLayout::new.
+        let m = model(2);
+        let mut w = ByteWriter::new();
+        w.put_u8(MODEL_CODEC_VERSION);
+        w.put_str(m.name());
+        encode_config(&mut w, m.config());
+        encode_geometry(&mut w, m.geometry());
+        w.put_usize(2); // two parameters...
+        w.put_varint(u64::MAX); // ...with an overflowing count
+        w.put_varint(1);
+        assert!(matches!(
+            decode_model(&w.into_bytes()),
+            Err(CoreError::Codec { reason }) if reason.contains("exceeds limit")
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_trailing_garbage() {
+        let m = model(2);
+        let mut bytes = encode_model(&m);
+        bytes.push(0);
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(CoreError::Codec { reason }) if reason.contains("trailing")
+        ));
+    }
+}

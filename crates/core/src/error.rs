@@ -24,6 +24,13 @@ pub enum CoreError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// A serialized model payload does not decode (truncated stream, bad
+    /// tag, structural inconsistency). Distinct from [`CoreError::Config`]:
+    /// the defect is in stored bytes, not in caller-supplied values.
+    Codec {
+        /// Where and how the payload is malformed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
             CoreError::Config { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::Incompatible { reason } => write!(f, "incompatible artifacts: {reason}"),
+            CoreError::Codec { reason } => write!(f, "model payload does not decode: {reason}"),
         }
     }
 }

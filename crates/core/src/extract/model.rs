@@ -86,6 +86,30 @@ impl TimingModel {
         }
     }
 
+    /// Reassembles a model from its constituent parts (binary codec
+    /// support). No cross-validation happens here: the codec layer is
+    /// responsible for structural checks, and the store's integrity
+    /// stamp has already vouched for the bytes.
+    pub(crate) fn from_codec_parts(
+        name: String,
+        graph: TimingGraph<CanonicalForm>,
+        geometry: GridGeometry,
+        layout: VariableLayout,
+        pca: Vec<PcaBasis>,
+        config: SstaConfig,
+        stats: ExtractionStats,
+    ) -> Self {
+        TimingModel {
+            name,
+            graph,
+            geometry,
+            layout,
+            pca,
+            config,
+            stats,
+        }
+    }
+
     /// Module name.
     pub fn name(&self) -> &str {
         &self.name

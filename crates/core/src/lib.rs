@@ -13,6 +13,9 @@
 //! * [`extract`] — gray-box timing-model extraction: criticality pruning
 //!   plus serial/parallel merges (Section IV), producing a serializable
 //!   [`TimingModel`];
+//! * [`codec`] — the deterministic binary wire format for extracted
+//!   models (SSTM payload codec 1): bit-exact `f64`s, varint topology,
+//!   roughly 2–3× smaller than the JSON encoding;
 //! * [`hier`] — hierarchical design analysis with heterogeneous grids and
 //!   independent-variable replacement (Section V);
 //! * [`yield_analysis`] — delay-yield utilities.
@@ -44,6 +47,7 @@ mod error;
 mod module;
 mod params;
 
+pub mod codec;
 pub mod criticality;
 pub mod extract;
 pub mod fingerprint;

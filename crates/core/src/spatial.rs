@@ -38,6 +38,18 @@ impl GridGeometry {
         }
     }
 
+    /// Reassembles a geometry from its stored fields (binary codec
+    /// support; the public constructor [`from_die`](Self::from_die)
+    /// re-derives `nx`/`ny` and cannot reproduce a translated geometry).
+    pub(crate) fn from_raw_parts(origin: (f64, f64), pitch: f64, nx: usize, ny: usize) -> Self {
+        GridGeometry {
+            origin,
+            pitch,
+            nx,
+            ny,
+        }
+    }
+
     /// Number of grids.
     pub fn n_grids(&self) -> usize {
         self.nx * self.ny

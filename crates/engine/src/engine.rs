@@ -28,7 +28,7 @@
 
 use crate::error::EngineError;
 use crate::spec::{DesignSpec, ModuleId};
-use crate::store::ModelStore;
+use crate::store::{Codec, FsBackend, ModelStore, StorageBackend};
 use ssta_core::{
     analyze, module_fingerprint, CorrelationMode, Design, DesignBuilder, DesignTiming,
     ExtractOptions, ModuleContext, SstaConfig, TimingModel,
@@ -51,6 +51,10 @@ pub struct EngineOptions {
     /// Worker threads for module characterization/extraction; `0` uses
     /// the available parallelism, `1` forces the serial path.
     pub threads: usize,
+    /// Payload codec for model-library writes (reads auto-detect).
+    /// Not part of the cache key: both codecs store the same model
+    /// bit-exactly, so artifacts are interchangeable.
+    pub codec: Codec,
 }
 
 impl Default for EngineOptions {
@@ -59,6 +63,7 @@ impl Default for EngineOptions {
             extract: ExtractOptions::default(),
             mode: CorrelationMode::Proposed,
             threads: 0,
+            codec: Codec::default(),
         }
     }
 }
@@ -94,6 +99,14 @@ pub struct RunStats {
     /// Failed library writes (read-only mount, disk full, …). The cache
     /// is best-effort: a failed write never fails the analysis.
     pub store_write_failures: usize,
+    /// Artifact bytes written to the persistent library in this run
+    /// (envelope headers included).
+    pub store_bytes_written: u64,
+    /// Artifact bytes read from the persistent library in this run,
+    /// counting hits only (envelope headers included).
+    pub store_bytes_read: u64,
+    /// Codec used for library writes; `None` when no store is attached.
+    pub store_codec: Option<Codec>,
     /// Wall-clock seconds resolving models (cache lookups + parallel
     /// extraction).
     pub resolve_seconds: f64,
@@ -111,12 +124,18 @@ pub struct EngineRun {
 }
 
 /// A parallel, cache-backed hierarchical analysis engine.
+///
+/// The persistent tier is backend-agnostic: [`Engine::with_store`]
+/// attaches the sharded filesystem library, [`Engine::with_backend`]
+/// any other [`StorageBackend`] (e.g. a [`MemoryBackend`](crate::store::MemoryBackend)
+/// for services and tests). The backend is type-erased so `Engine`
+/// itself stays a single concrete type at every call site.
 #[derive(Debug)]
 pub struct Engine {
     config: SstaConfig,
     options: EngineOptions,
     memory: HashMap<String, std::sync::Arc<TimingModel>>,
-    store: Option<ModelStore>,
+    store: Option<ModelStore<Box<dyn StorageBackend>>>,
 }
 
 impl Engine {
@@ -138,14 +157,26 @@ impl Engine {
 
     /// Attaches a persistent model library rooted at `path` (created if
     /// missing). Models found there are reused across engine instances
-    /// and across processes.
+    /// and across processes. Writes use the codec from
+    /// [`EngineOptions::codec`].
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Io`] if the directory cannot be created.
-    pub fn with_store(mut self, path: impl AsRef<Path>) -> Result<Self, EngineError> {
-        self.store = Some(ModelStore::open(path.as_ref().to_path_buf())?);
-        Ok(self)
+    pub fn with_store(self, path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let backend = FsBackend::open(path.as_ref().to_path_buf())?;
+        Ok(self.with_backend(backend))
+    }
+
+    /// Attaches a model library over an arbitrary storage backend.
+    /// Writes use the codec from [`EngineOptions::codec`].
+    pub fn with_backend(mut self, backend: impl StorageBackend + 'static) -> Self {
+        self.store = Some(
+            ModelStore::with_backend(backend)
+                .with_codec(self.options.codec)
+                .boxed(),
+        );
+        self
     }
 
     /// The analysis configuration.
@@ -159,7 +190,7 @@ impl Engine {
     }
 
     /// The attached model library, if any.
-    pub fn store(&self) -> Option<&ModelStore> {
+    pub fn store(&self) -> Option<&ModelStore<Box<dyn StorageBackend>>> {
         self.store.as_ref()
     }
 
@@ -255,6 +286,7 @@ impl Engine {
         let resolve_started = Instant::now();
         let mut stats = RunStats {
             instances: spec.instances.len(),
+            store_codec: self.store.as_ref().map(ModelStore::codec),
             ..RunStats::default()
         };
 
@@ -285,10 +317,11 @@ impl Engine {
                 continue;
             }
             if let Some(store) = &self.store {
-                match store.load(key) {
-                    Ok(Some(model)) => {
+                match store.load_traced(key) {
+                    Ok(Some((model, info))) => {
                         self.memory.insert(key.clone(), std::sync::Arc::new(model));
                         stats.store_hits += 1;
+                        stats.store_bytes_read += info.bytes as u64;
                         continue;
                     }
                     Ok(None) => {}
@@ -309,8 +342,11 @@ impl Engine {
                     // Best-effort: the model is already in hand, so a
                     // failed cache write (read-only library, full disk)
                     // must not fail the analysis.
-                    match store.save(key, &model) {
-                        Ok(()) => stats.store_writes += 1,
+                    match store.save_traced(key, &model) {
+                        Ok(bytes) => {
+                            stats.store_writes += 1;
+                            stats.store_bytes_written += bytes as u64;
+                        }
                         Err(_) => stats.store_write_failures += 1,
                     }
                 }

@@ -10,9 +10,13 @@
 //! * [`ModelStore`] — a **persistent model library**: a content-addressed
 //!   store keyed by a SHA-256 fingerprint of (netlist structure, library,
 //!   [`SstaConfig`](ssta_core::SstaConfig),
-//!   [`ExtractOptions`](ssta_core::ExtractOptions)), with a versioned
-//!   on-disk envelope (magic + format version + integrity stamp) that
-//!   rejects corrupt or wrong-version artifacts cleanly;
+//!   [`ExtractOptions`](ssta_core::ExtractOptions)), layered over
+//!   pluggable [`StorageBackend`]s (sharded filesystem, in-memory) with
+//!   a versioned artifact envelope (magic + format version + payload
+//!   codec + integrity stamp) that rejects corrupt or wrong-version
+//!   artifacts cleanly. Payloads are compact deterministic binary by
+//!   default ([`Codec::Binary`]), with JSON ([`Codec::Json`]) still
+//!   read and writable, and legacy v1 artifacts migrate in place;
 //! * [`Engine`] — a **scheduler** that walks a [`DesignSpec`],
 //!   deduplicates identical module definitions by fingerprint, resolves
 //!   each distinct module through the in-memory and persistent cache
@@ -82,4 +86,4 @@ pub mod store;
 pub use engine::{Engine, EngineOptions, EngineRun, ModelSource, RunStats};
 pub use error::EngineError;
 pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
-pub use store::ModelStore;
+pub use store::{ArtifactInfo, Codec, FsBackend, MemoryBackend, ModelStore, StorageBackend};

@@ -1,0 +1,175 @@
+//! The sharded local-filesystem backend.
+//!
+//! Artifacts live at `<root>/<k0k1>/<key>.stm`, where `k0k1` is the
+//! first two characters of the key — 256 shard directories keep any
+//! one directory small even for libraries with tens of thousands of
+//! models. Writes are crash-safe: bytes go to a uniquely named
+//! temporary file in the shard and are renamed into place, so a
+//! crashed or concurrent writer can never leave a half-written
+//! artifact under a valid key.
+
+use super::backend::StorageBackend;
+use crate::error::EngineError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension of stored artifacts.
+const EXT: &str = "stm";
+
+/// Monotonic nonce distinguishing concurrent writers within a process.
+static NEXT_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A content-addressed artifact store on the local filesystem.
+#[derive(Debug)]
+pub struct FsBackend {
+    root: PathBuf,
+}
+
+impl FsBackend {
+    /// Opens (creating if necessary) a backend rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(FsBackend { root })
+    }
+
+    /// The backend's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let shard = key.get(..2).unwrap_or("xx");
+        self.root.join(shard).join(format!("{key}.{EXT}"))
+    }
+
+    /// Shard directories under the root, ignoring stray files.
+    fn shards(&self) -> Result<Vec<PathBuf>, EngineError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, EngineError> {
+        match fs::read(self.path_of(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            // NotADirectory: a path component is missing or not a
+            // directory — either way, no artifact exists under this key.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::NotADirectory
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), EngineError> {
+        let path = self.path_of(key);
+        fs::create_dir_all(path.parent().expect("sharded path has a parent"))?;
+        // Unique temp name per writer: stores are shared across
+        // processes, and two engines cold-starting on the same key must
+        // not truncate each other's half-written temp file before the
+        // rename.
+        let nonce = NEXT_TMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("{EXT}.tmp.{}.{nonce}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            // Some platforms refuse to rename over an existing (possibly
+            // open) destination; retry once after unlinking it, and clean
+            // up the temp file if the rename still fails.
+            let _ = fs::remove_file(&path);
+            if let Err(retry) = fs::rename(&tmp, &path) {
+                let _ = fs::remove_file(&tmp);
+                return Err(if retry.kind() == e.kind() { e } else { retry }.into());
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        match fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(true),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::NotADirectory
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list_keys(&self) -> Result<Vec<String>, EngineError> {
+        let mut keys = Vec::new();
+        for shard in self.shards()? {
+            for entry in fs::read_dir(shard)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == EXT) {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        keys.push(stem.to_owned());
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        Ok(keys)
+    }
+
+    fn clear(&self) -> Result<(), EngineError> {
+        for shard in self.shards()? {
+            for entry in fs::read_dir(shard)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == EXT) {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, EngineError> {
+        Ok(self.path_of(key).is_file())
+    }
+
+    fn len(&self) -> Result<usize, EngineError> {
+        let mut n = 0;
+        for shard in self.shards()? {
+            for entry in fs::read_dir(shard)? {
+                if entry?.path().extension().is_some_and(|e| e == EXT) {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    fn is_empty(&self) -> Result<bool, EngineError> {
+        // Short-circuit on the first artifact instead of scanning the
+        // full two-level tree like `len` does.
+        for shard in self.shards()? {
+            for entry in fs::read_dir(shard)? {
+                if entry?.path().extension().is_some_and(|e| e == EXT) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}

@@ -1,0 +1,77 @@
+//! The thread-safe in-memory backend.
+//!
+//! A [`MemoryBackend`] holds artifacts in a mutex-guarded map: the
+//! right store for services that want a shared hot tier without disk
+//! I/O, for ephemeral runs that must not leave files behind, and for
+//! tests (the backend conformance suite runs against it and
+//! [`FsBackend`](super::FsBackend) identically). Wrap one in an
+//! [`Arc`](std::sync::Arc) to share a single library across several
+//! stores or engines.
+
+use super::backend::StorageBackend;
+use crate::error::EngineError;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// An in-process, mutex-synchronized artifact store.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        MemoryBackend::default()
+    }
+
+    /// Total payload bytes currently held (for capacity accounting).
+    pub fn total_bytes(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        // A poisoned mutex means another thread panicked mid-operation;
+        // every operation leaves the map consistent (single insert /
+        // remove / clear), so the data is still valid.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, EngineError> {
+        Ok(self.lock().get(key).cloned())
+    }
+
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), EngineError> {
+        self.lock().insert(key.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        Ok(self.lock().remove(key).is_some())
+    }
+
+    fn list_keys(&self) -> Result<Vec<String>, EngineError> {
+        // BTreeMap iterates in key order, matching FsBackend's sorted
+        // listing.
+        Ok(self.lock().keys().cloned().collect())
+    }
+
+    fn clear(&self) -> Result<(), EngineError> {
+        self.lock().clear();
+        Ok(())
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, EngineError> {
+        Ok(self.lock().contains_key(key))
+    }
+
+    fn len(&self) -> Result<usize, EngineError> {
+        Ok(self.lock().len())
+    }
+
+    fn is_empty(&self) -> Result<bool, EngineError> {
+        Ok(self.lock().is_empty())
+    }
+}

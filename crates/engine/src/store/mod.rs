@@ -1,0 +1,361 @@
+//! The persistent model library: a content-addressed, versioned store
+//! of extracted [`TimingModel`]s over pluggable storage backends.
+//!
+//! # Architecture
+//!
+//! The subsystem is three layers, each swappable independently:
+//!
+//! * **[`ModelStore`]** — the typed facade. Validates keys, picks the
+//!   payload codec, wraps/unwraps the envelope, and transparently
+//!   migrates legacy artifacts. Generic over its backend
+//!   (`ModelStore<B: StorageBackend>`, defaulting to [`FsBackend`]).
+//! * **[`envelope`]** — the versioned artifact framing: magic, format
+//!   version, payload codec (v2), length, integrity stamp.
+//! * **[`StorageBackend`]** — raw byte transport:
+//!   [`FsBackend`] (sharded local filesystem, atomic
+//!   temp-file+rename writes) and [`MemoryBackend`] (mutex-guarded
+//!   in-process map) ship today; a remote object store fits behind the
+//!   same five-method contract.
+//!
+//! # Artifact format
+//!
+//! Version 2 (written by this build):
+//!
+//! | bytes | contents |
+//! |---|---|
+//! | 0..4 | magic `SSTM` |
+//! | 4..6 | format version, u16 little-endian (2) |
+//! | 6..7 | payload codec: 0 = JSON, 1 = binary ([`ssta_core::codec`]) |
+//! | 7..15 | payload length in bytes, u64 little-endian |
+//! | 15..23 | integrity stamp: first 8 bytes of SHA-256(payload), big-endian |
+//! | 23.. | payload: the serialized [`TimingModel`] |
+//!
+//! Version 1 (legacy; still read, never written): identical except the
+//! codec byte does not exist — bytes 6..14 are the length, 14..22 the
+//! stamp, 22.. the payload, and the payload is always JSON.
+//!
+//! # Compatibility matrix
+//!
+//! | artifact | v1 reader (old builds) | v2 reader (this build) |
+//! |---|---|---|
+//! | v1 / JSON | loads | loads; rewritten as v2 in place on hit |
+//! | v2 / JSON | rejected (version) | loads |
+//! | v2 / binary | rejected (version) | loads |
+//!
+//! Readers reject — with a precise [`EngineError::Store`] reason —
+//! artifacts that are truncated, carry the wrong magic, an unsupported
+//! version or an unknown codec byte, fail the integrity check, or do
+//! not decode. A v1 hit is re-encoded under the store's write codec
+//! and written back (best-effort), so a warm library migrates itself
+//! to the compact format one artifact at a time.
+
+mod backend;
+pub mod envelope;
+mod fs;
+mod memory;
+
+pub use backend::StorageBackend;
+pub use envelope::{decode_envelope, encode_envelope, Codec, Envelope, FORMAT_VERSION, MAGIC};
+pub use fs::FsBackend;
+pub use memory::MemoryBackend;
+
+use crate::error::EngineError;
+use ssta_core::TimingModel;
+use std::path::{Path, PathBuf};
+
+/// Facts about one stored artifact, reported by the traced accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Total artifact size in bytes (envelope header + payload).
+    pub bytes: usize,
+    /// Payload codec the artifact was stored under.
+    pub codec: Codec,
+    /// Envelope version the artifact was stored under.
+    pub version: u16,
+}
+
+/// Checks that `key` is a well-formed store key: exactly 64 lowercase
+/// hexadecimal characters (a [`ModuleFingerprint`](ssta_core::ModuleFingerprint)
+/// in hex). Anything else — wrong length, uppercase, path separators —
+/// is rejected before it can reach a backend, closing the
+/// path-traversal/garbage-file hole of interpolating raw strings into
+/// paths.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] naming the offending key.
+pub fn validate_key(key: &str) -> Result<(), EngineError> {
+    let well_formed = key.len() == 64
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if !well_formed {
+        return Err(EngineError::Store {
+            reason: format!(
+                "invalid store key `{}`: expected 64 lowercase hex characters",
+                key.escape_default()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A content-addressed library of extracted timing models over a
+/// [`StorageBackend`] (the sharded local filesystem by default).
+#[derive(Debug)]
+pub struct ModelStore<B: StorageBackend = FsBackend> {
+    backend: B,
+    codec: Codec,
+}
+
+impl ModelStore {
+    /// Opens (creating if necessary) a filesystem-backed store rooted
+    /// at `root`, writing the default codec ([`Codec::Binary`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        Ok(ModelStore::with_backend(FsBackend::open(root)?))
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        self.backend.root()
+    }
+}
+
+impl<B: StorageBackend> ModelStore<B> {
+    /// Wraps an arbitrary backend, writing the default codec
+    /// ([`Codec::Binary`]).
+    pub fn with_backend(backend: B) -> Self {
+        ModelStore {
+            backend,
+            codec: Codec::default(),
+        }
+    }
+
+    /// Sets the codec used for writes (reads auto-detect from the
+    /// envelope, so a library can hold a mix).
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The codec this store writes.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Type-erases the backend, for holders that must name a single
+    /// store type over interchangeable backends (e.g. the engine).
+    pub fn boxed(self) -> ModelStore<Box<dyn StorageBackend>>
+    where
+        B: 'static,
+    {
+        ModelStore {
+            backend: Box::new(self.backend),
+            codec: self.codec,
+        }
+    }
+
+    /// Whether an artifact exists under `key` (without validating it).
+    /// Malformed keys hold nothing by definition.
+    pub fn contains(&self, key: &str) -> bool {
+        validate_key(key).is_ok() && self.backend.contains(key).unwrap_or(false)
+    }
+
+    /// Loads and validates the model stored under `key`; `Ok(None)` if
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] for malformed keys and corrupt,
+    /// truncated or wrong-version artifacts, and [`EngineError::Io`]
+    /// for read failures.
+    pub fn load(&self, key: &str) -> Result<Option<TimingModel>, EngineError> {
+        Ok(self.load_traced(key)?.map(|(model, _)| model))
+    }
+
+    /// [`load`](Self::load), also reporting the artifact's size, codec
+    /// and envelope version.
+    ///
+    /// A hit on a legacy v1 artifact re-encodes it under this store's
+    /// write codec and writes it back (best-effort — a read-only
+    /// library still serves v1 hits), so warm libraries migrate
+    /// themselves incrementally. The reported [`ArtifactInfo`]
+    /// describes the artifact as found, pre-migration.
+    ///
+    /// # Errors
+    ///
+    /// See [`load`](Self::load).
+    pub fn load_traced(
+        &self,
+        key: &str,
+    ) -> Result<Option<(TimingModel, ArtifactInfo)>, EngineError> {
+        validate_key(key)?;
+        let Some(bytes) = self.backend.get(key)? else {
+            return Ok(None);
+        };
+        let env = decode_envelope(&bytes)?;
+        let model = decode_payload(env.codec, env.payload, key)?;
+        let info = ArtifactInfo {
+            bytes: bytes.len(),
+            codec: env.codec,
+            version: env.version,
+        };
+        if env.version != FORMAT_VERSION {
+            if let Ok(payload) = encode_payload(self.codec, &model) {
+                let _ = self
+                    .backend
+                    .put(key, &encode_envelope(self.codec, &payload));
+            }
+        }
+        Ok(Some((model, info)))
+    }
+
+    /// Stores `model` under `key`, atomically replacing any previous
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] for malformed keys or
+    /// unserializable models and [`EngineError::Io`] for write
+    /// failures.
+    pub fn save(&self, key: &str, model: &TimingModel) -> Result<(), EngineError> {
+        self.save_traced(key, model).map(|_| ())
+    }
+
+    /// [`save`](Self::save), also reporting the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// See [`save`](Self::save).
+    pub fn save_traced(&self, key: &str, model: &TimingModel) -> Result<usize, EngineError> {
+        validate_key(key)?;
+        let payload = encode_payload(self.codec, model)?;
+        let bytes = encode_envelope(self.codec, &payload);
+        self.backend.put(key, &bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Removes the artifact under `key`; returns whether one existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] for malformed keys and
+    /// [`EngineError::Io`] for removal failures other than absence.
+    pub fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        validate_key(key)?;
+        self.backend.remove(key)
+    }
+
+    /// All stored keys, in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the backend cannot be enumerated.
+    pub fn keys(&self) -> Result<Vec<String>, EngineError> {
+        self.backend.list_keys()
+    }
+
+    /// Number of artifacts currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the backend cannot be enumerated.
+    pub fn len(&self) -> Result<usize, EngineError> {
+        self.backend.len()
+    }
+
+    /// Whether the store holds no artifacts (short-circuits on the
+    /// first artifact found — no full scan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the backend cannot be enumerated.
+    pub fn is_empty(&self) -> Result<bool, EngineError> {
+        self.backend.is_empty()
+    }
+
+    /// Removes every artifact in the store, including ones written by
+    /// other engines or processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if artifacts cannot be removed.
+    pub fn clear(&self) -> Result<(), EngineError> {
+        self.backend.clear()
+    }
+}
+
+/// Serializes a model under the given codec.
+fn encode_payload(codec: Codec, model: &TimingModel) -> Result<Vec<u8>, EngineError> {
+    match codec {
+        Codec::Json => serde_json::to_vec(model).map_err(|e| EngineError::Store {
+            reason: format!("model does not serialize: {e}"),
+        }),
+        Codec::Binary => Ok(ssta_core::codec::encode_model(model)),
+    }
+}
+
+/// Deserializes a payload under the given codec.
+fn decode_payload(codec: Codec, payload: &[u8], key: &str) -> Result<TimingModel, EngineError> {
+    match codec {
+        Codec::Json => serde_json::from_slice(payload).map_err(|e| EngineError::Store {
+            reason: format!("JSON payload of `{key}` does not decode: {e}"),
+        }),
+        Codec::Binary => ssta_core::codec::decode_model(payload).map_err(|e| EngineError::Store {
+            reason: format!("binary payload of `{key}` does not decode: {e}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_validation_accepts_fingerprints_and_rejects_garbage() {
+        validate_key(&"0123456789abcdef".repeat(4)).unwrap();
+        validate_key(&"a".repeat(64)).unwrap();
+
+        let reject = |key: &str| {
+            assert!(
+                matches!(
+                    validate_key(key),
+                    Err(EngineError::Store { reason }) if reason.contains("invalid store key")
+                ),
+                "key `{key}` should be rejected"
+            );
+        };
+        reject(""); // empty
+        reject(&"a".repeat(63)); // too short
+        reject(&"a".repeat(65)); // too long
+        reject(&"A".repeat(64)); // uppercase hex
+        reject(&"g".repeat(64)); // not hex
+        reject(&format!("../{}", "a".repeat(61))); // path traversal
+        reject(&format!("{}/..", "a".repeat(61))); // path traversal
+        reject(&format!("{}\u{2044}x", "a".repeat(62))); // unicode slash-alike
+    }
+
+    #[test]
+    fn memory_store_rejects_malformed_keys_everywhere() {
+        let store = ModelStore::with_backend(MemoryBackend::new());
+        assert!(!store.contains("../etc/passwd"));
+        assert!(matches!(
+            store.load("not-a-key"),
+            Err(EngineError::Store { .. })
+        ));
+        assert!(matches!(
+            store.remove(&"A".repeat(64)),
+            Err(EngineError::Store { .. })
+        ));
+    }
+}

@@ -22,6 +22,9 @@
 //!   and Kolmogorov–Smirnov distances used to compare analytical SSTA
 //!   results against Monte Carlo ground truth.
 //! * [`rng`] — seedable standard-normal sampling helpers.
+//! * [`codec`] — varint/byte-stream primitives for the deterministic
+//!   binary model codec (`ssta-core` builds the model layout on top;
+//!   the engine's store wraps it in the versioned SSTM envelope).
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ mod error;
 mod matrix;
 
 pub mod cholesky;
+pub mod codec;
 pub mod digest;
 pub mod eigen;
 pub mod gaussian;
@@ -53,6 +57,7 @@ pub mod pca;
 pub mod rng;
 pub mod stats;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use digest::{sha256, Sha256};
 pub use error::MathError;
 pub use gaussian::{clark_max, normal_cdf, normal_pdf, normal_quantile, MaxMoments};

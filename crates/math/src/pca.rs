@@ -124,9 +124,54 @@ impl PcaBasis {
         })
     }
 
+    /// Reassembles a basis from its stored parts (the inverse of reading
+    /// [`transform`](Self::transform)/[`whiten`](Self::whiten)/
+    /// [`eigenvalues`](Self::eigenvalues)/
+    /// [`total_variance`](Self::total_variance)) — the constructor binary
+    /// codecs use to reproduce a decomposed basis bit-exactly without
+    /// re-running the eigensolver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] unless `transform` is
+    /// `n × k`, `whiten` is `k × n` and `eigenvalues` has length `k`,
+    /// and [`MathError::EmptyInput`] for an empty basis.
+    pub fn from_raw_parts(
+        transform: Matrix,
+        whiten: Matrix,
+        eigenvalues: Vec<f64>,
+        total_variance: f64,
+    ) -> Result<Self, MathError> {
+        let (n, k) = (transform.rows(), transform.cols());
+        if k == 0 || n == 0 {
+            return Err(MathError::EmptyInput {
+                context: "PcaBasis::from_raw_parts (empty basis)",
+            });
+        }
+        if whiten.rows() != k || whiten.cols() != n || eigenvalues.len() != k {
+            return Err(MathError::DimensionMismatch {
+                context: "PcaBasis::from_raw_parts",
+                expected: (k, n),
+                found: (whiten.rows(), whiten.cols()),
+            });
+        }
+        Ok(PcaBasis {
+            transform,
+            whiten,
+            eigenvalues,
+            total_variance,
+        })
+    }
+
     /// The `n × k` transform `T` with `correlated = T·z`.
     pub fn transform(&self) -> &Matrix {
         &self.transform
+    }
+
+    /// The total variance (eigenvalue sum before truncation) of the
+    /// decomposed covariance matrix.
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
     }
 
     /// The `k × n` whitening matrix `W = Λ^{-½}·Uᵀ` with `z = W·correlated`.

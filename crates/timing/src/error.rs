@@ -18,6 +18,12 @@ pub enum TimingError {
     /// No path exists where one was required (e.g. asking for the critical
     /// path of a graph whose outputs are unreachable).
     NoPath,
+    /// Raw graph parts failed structural validation (see
+    /// [`TimingGraph::from_raw_parts`](crate::TimingGraph::from_raw_parts)).
+    InvalidGraph {
+        /// The first inconsistency found.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TimingError {
@@ -30,6 +36,9 @@ impl fmt::Display for TimingError {
                 available,
             } => write!(f, "{kind} index {index} out of range (have {available})"),
             TimingError::NoPath => write!(f, "no input-to-output path exists"),
+            TimingError::InvalidGraph { reason } => {
+                write!(f, "invalid raw graph parts: {reason}")
+            }
         }
     }
 }

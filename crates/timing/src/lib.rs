@@ -48,4 +48,4 @@ pub mod sta;
 pub use allpairs::DelayMatrix;
 pub use delay::DelayAlgebra;
 pub use error::TimingError;
-pub use graph::{ArcContext, Edge, EdgeId, TimingGraph, VertexId, VertexKind};
+pub use graph::{ArcContext, Edge, EdgeId, RawGraphParts, TimingGraph, VertexId, VertexKind};

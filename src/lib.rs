@@ -17,9 +17,10 @@
 //!   independent-variable replacement;
 //! * [`mc`] — Monte Carlo ground truth;
 //! * [`engine`] — the analysis engine: a persistent content-addressed
-//!   model library, a deduplicating parallel scheduler over hierarchical
-//!   design specs, and incremental re-analysis with per-module
-//!   invalidation.
+//!   model library over pluggable storage backends (sharded filesystem
+//!   or in-memory) with a compact binary artifact codec, a deduplicating
+//!   parallel scheduler over hierarchical design specs, and incremental
+//!   re-analysis with per-module invalidation.
 //!
 //! # Quickstart
 //!

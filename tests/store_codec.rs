@@ -1,0 +1,441 @@
+//! The storage subsystem contract, across backends and codecs:
+//!
+//! * every [`StorageBackend`] passes one shared conformance suite
+//!   (`FsBackend` and `MemoryBackend` are interchangeable);
+//! * malformed store keys are rejected before they can touch a backend;
+//! * the binary codec round-trips arbitrary extracted models to
+//!   identical bytes, and binary-loaded models analyze bit-identically
+//!   to JSON-loaded ones (property-tested);
+//! * a v1/JSON envelope written by the pre-v2 code still loads, and is
+//!   migrated to v2 in place on the hit;
+//! * the binary c880 artifact is at most half the JSON payload size.
+
+use hier_ssta::core::{ExtractOptions, ModuleContext, SstaConfig, TimingModel};
+use hier_ssta::engine::store::envelope;
+use hier_ssta::engine::{
+    Codec, DesignSpec, Engine, EngineError, EngineOptions, FsBackend, MemoryBackend, ModelStore,
+    StorageBackend,
+};
+use hier_ssta::math::digest::sha256;
+use hier_ssta::netlist::{generators, DieRect};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hier-ssta-store-codec-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn extract(netlist: hier_ssta::netlist::Netlist, config: &SstaConfig) -> TimingModel {
+    let ctx = ModuleContext::characterize(netlist, config).expect("characterize");
+    ctx.extract_model(&ExtractOptions::default())
+        .expect("extract")
+}
+
+fn hex_key(fill: u8) -> String {
+    (fill as char).to_string().repeat(64)
+}
+
+// ---------------------------------------------------------------------
+// Backend conformance: every backend obeys the same contract.
+// ---------------------------------------------------------------------
+
+fn backend_conformance<B: StorageBackend>(backend: &B) {
+    let (ka, kb) = (hex_key(b'a'), hex_key(b'b'));
+
+    // Empty store.
+    assert!(backend.is_empty().expect("is_empty"));
+    assert_eq!(backend.len().expect("len"), 0);
+    assert_eq!(backend.list_keys().expect("list"), Vec::<String>::new());
+    assert!(backend.get(&ka).expect("get absent").is_none());
+    assert!(!backend.contains(&ka).expect("contains absent"));
+    assert!(!backend.remove(&ka).expect("remove absent"));
+
+    // Put / get round trip.
+    backend.put(&kb, b"beta").expect("put");
+    backend.put(&ka, b"alpha").expect("put");
+    assert_eq!(
+        backend.get(&ka).expect("get").as_deref(),
+        Some(&b"alpha"[..])
+    );
+    assert!(backend.contains(&ka).expect("contains"));
+    assert!(!backend.is_empty().expect("is_empty"));
+    assert_eq!(backend.len().expect("len"), 2);
+    // Keys come back sorted, whatever the insertion order.
+    assert_eq!(
+        backend.list_keys().expect("list"),
+        vec![ka.clone(), kb.clone()]
+    );
+
+    // Overwrite replaces.
+    backend.put(&ka, b"alpha v2").expect("overwrite");
+    assert_eq!(
+        backend.get(&ka).expect("get").as_deref(),
+        Some(&b"alpha v2"[..])
+    );
+    assert_eq!(backend.len().expect("len"), 2);
+
+    // Remove reports prior existence.
+    assert!(backend.remove(&ka).expect("remove"));
+    assert!(!backend.remove(&ka).expect("second remove"));
+    assert_eq!(backend.len().expect("len"), 1);
+
+    // Clear empties everything.
+    backend.clear().expect("clear");
+    assert!(backend.is_empty().expect("is_empty after clear"));
+    assert_eq!(
+        backend.list_keys().expect("list after clear"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn fs_backend_passes_the_conformance_suite() {
+    let dir = temp_dir("conformance-fs");
+    let backend = FsBackend::open(&dir).expect("open");
+    backend_conformance(&backend);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_backend_passes_the_conformance_suite() {
+    backend_conformance(&MemoryBackend::new());
+}
+
+#[test]
+fn boxed_and_shared_backends_pass_the_conformance_suite() {
+    // The smart-pointer impls the engine relies on behave identically.
+    let boxed: Box<dyn StorageBackend> = Box::new(MemoryBackend::new());
+    backend_conformance(&boxed);
+    backend_conformance(&Arc::new(MemoryBackend::new()));
+}
+
+// ---------------------------------------------------------------------
+// Key validation: the store is not a path-interpolation gadget.
+// ---------------------------------------------------------------------
+
+#[test]
+fn store_rejects_malformed_keys_before_the_backend_sees_them() {
+    let dir = temp_dir("key-validation");
+    let store = ModelStore::open(&dir).expect("open");
+    let model = extract(
+        generators::ripple_carry_adder(2).expect("adder"),
+        &SstaConfig::paper(),
+    );
+
+    for bad in [
+        "",
+        "short",
+        &hex_key(b'a')[..63],
+        &format!("{}0", hex_key(b'a')),
+        &hex_key(b'a').to_uppercase(),
+        &hex_key(b'z'),
+        "../../../../tmp/escape",
+        &format!("..%2f{}", &hex_key(b'a')[..58]),
+    ] {
+        assert!(
+            matches!(
+                store.save(bad, &model),
+                Err(EngineError::Store { ref reason }) if reason.contains("invalid store key")
+            ),
+            "save under `{bad}` must be rejected"
+        );
+        assert!(
+            matches!(store.load(bad), Err(EngineError::Store { .. })),
+            "load under `{bad}` must be rejected"
+        );
+        assert!(!store.contains(bad));
+    }
+    // Nothing leaked onto disk — not even outside the root.
+    assert!(store.is_empty().expect("is_empty"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Codec round trips.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary extracted models survive the binary codec bit-exactly:
+    /// decode ∘ encode is the identity on bytes, and the decoded model's
+    /// statistical delay matrix is bit-identical.
+    #[test]
+    fn binary_codec_round_trips_arbitrary_models(
+        kind in 0usize..3,
+        size in 2usize..7,
+        grid_side in 4usize..12,
+    ) {
+        let netlist = match kind {
+            0 => generators::ripple_carry_adder(size).expect("adder"),
+            1 => generators::parity_tree(size + 2).expect("parity"),
+            _ => generators::array_multiplier(size.min(4)).expect("multiplier"),
+        };
+        let mut config = SstaConfig::paper();
+        config.grid_side_cells = grid_side; // vary the PCA dimensions too
+        let model = extract(netlist, &config);
+
+        let bytes = hier_ssta::core::codec::encode_model(&model);
+        let back = hier_ssta::core::codec::decode_model(&bytes).expect("decode");
+        prop_assert_eq!(
+            &hier_ssta::core::codec::encode_model(&back),
+            &bytes,
+            "re-encode must reproduce identical bytes"
+        );
+
+        let a = model.delay_matrix().expect("matrix");
+        let b = back.delay_matrix().expect("matrix");
+        let (worst_mean, mismatched) = a.compare_with(&b, |d| d.mean());
+        prop_assert_eq!(mismatched, 0);
+        prop_assert_eq!(worst_mean, 0.0);
+        let (worst_sigma, _) = a.compare_with(&b, |d| d.std_dev());
+        prop_assert_eq!(worst_sigma, 0.0);
+    }
+}
+
+#[test]
+fn both_codecs_round_trip_through_both_backends_bit_exactly() {
+    let model = extract(
+        generators::ripple_carry_adder(5).expect("adder"),
+        &SstaConfig::paper(),
+    );
+    let key = hex_key(b'c');
+    let reference = model.delay_matrix().expect("matrix");
+
+    let dir = temp_dir("codec-matrix");
+    for codec in [Codec::Json, Codec::Binary] {
+        let fs_store = ModelStore::open(dir.join(codec.name()))
+            .expect("open")
+            .with_codec(codec);
+        let mem_store = ModelStore::with_backend(MemoryBackend::new()).with_codec(codec);
+
+        fs_store.save(&key, &model).expect("fs save");
+        mem_store.save(&key, &model).expect("mem save");
+        for (store_name, loaded) in [
+            (
+                "fs",
+                fs_store.load(&key).expect("fs load").expect("present"),
+            ),
+            (
+                "mem",
+                mem_store.load(&key).expect("mem load").expect("present"),
+            ),
+        ] {
+            let got = loaded.delay_matrix().expect("matrix");
+            let (worst, mismatched) = reference.compare_with(&got, |d| d.mean());
+            assert_eq!(mismatched, 0, "{store_name}/{codec}");
+            assert_eq!(worst, 0.0, "{store_name}/{codec}: bit-exact mean");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// v1 migration.
+// ---------------------------------------------------------------------
+
+/// Builds a v1 envelope byte-for-byte the way the pre-v2 code did
+/// (4-byte magic, u16 version 1, u64 length, 8-byte SHA-256 prefix) —
+/// deliberately hand-rolled rather than calling today's encoder, so
+/// this keeps failing loudly if the v1 layout is ever misremembered.
+fn v1_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(22 + payload.len());
+    out.extend_from_slice(b"SSTM");
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&sha256(payload).prefix_u64().to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn v1_json_artifacts_still_load_and_migrate_to_v2() {
+    let model = extract(
+        generators::ripple_carry_adder(4).expect("adder"),
+        &SstaConfig::paper(),
+    );
+    let key = hex_key(b'd');
+
+    // Plant a v1 artifact exactly as the old code wrote it.
+    let backend = Arc::new(MemoryBackend::new());
+    let json = serde_json::to_vec(&model).expect("serialize");
+    let v1_bytes = v1_envelope(&json);
+    // The hand-rolled layout matches the envelope module's own v1 encoder.
+    assert_eq!(v1_bytes, envelope::encode_envelope_v1(&json));
+    backend.put(&key, &v1_bytes).expect("plant v1 artifact");
+
+    // The v2 reader serves it, reporting what it found.
+    let store = ModelStore::with_backend(Arc::clone(&backend));
+    let (loaded, info) = store
+        .load_traced(&key)
+        .expect("v1 artifact loads")
+        .expect("present");
+    assert_eq!(info.version, 1);
+    assert_eq!(info.codec, Codec::Json);
+    assert_eq!(info.bytes, v1_bytes.len());
+    let a = model.delay_matrix().expect("matrix");
+    let b = loaded.delay_matrix().expect("matrix");
+    let (worst, mismatched) = a.compare_with(&b, |d| d.mean());
+    assert_eq!(mismatched, 0);
+    assert_eq!(worst, 0.0);
+
+    // ... and the hit rewrote the artifact as v2/binary in place.
+    let migrated = backend.get(&key).expect("get").expect("still present");
+    let env = envelope::decode_envelope(&migrated).expect("valid envelope");
+    assert_eq!(env.version, envelope::FORMAT_VERSION);
+    assert_eq!(env.codec, Codec::Binary);
+    assert!(
+        migrated.len() * 2 <= v1_bytes.len(),
+        "migration should also shrink the artifact ({} vs {})",
+        migrated.len(),
+        v1_bytes.len()
+    );
+
+    // The migrated artifact round-trips on its own.
+    let again = store.load_traced(&key).expect("load").expect("present");
+    assert_eq!(again.1.version, envelope::FORMAT_VERSION);
+    assert_eq!(again.1.codec, Codec::Binary);
+}
+
+// ---------------------------------------------------------------------
+// Payload size: the c880 acceptance criterion.
+// ---------------------------------------------------------------------
+
+#[test]
+fn binary_c880_artifact_is_at_most_half_the_json_size() {
+    let model = extract(
+        generators::iscas85("c880").expect("c880"),
+        &SstaConfig::paper(),
+    );
+    let json = serde_json::to_vec(&model).expect("serialize");
+    let binary = hier_ssta::core::codec::encode_model(&model);
+    assert!(
+        binary.len() * 2 <= json.len(),
+        "c880 binary payload {} bytes vs JSON {} bytes: expected ≤ 50%",
+        binary.len(),
+        json.len()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Engine-level determinism across backends × codecs × scheduling.
+// ---------------------------------------------------------------------
+
+/// Two distinct modules so the parallel scheduler has real fan-out.
+fn two_module_spec() -> DesignSpec {
+    let mut b = DesignSpec::builder(
+        "mixed",
+        DieRect {
+            width: 80.0,
+            height: 40.0,
+        },
+    );
+    let ms = b.add_module(generators::ripple_carry_adder(4).expect("adder4"));
+    let ml = b.add_module(generators::ripple_carry_adder(5).expect("adder5"));
+    let u0 = b.add_instance("u0", ms, (0.0, 0.0)).expect("u0");
+    let u1 = b.add_instance("u1", ml, (30.0, 0.0)).expect("u1");
+    for k in 0..5 {
+        b.connect(u0, k, u1, k);
+    }
+    for k in 0..9 {
+        b.expose_input(vec![(u0, k)]);
+    }
+    for k in 5..11 {
+        b.expose_input(vec![(u1, k)]);
+    }
+    for k in 0..6 {
+        b.expose_output(u1, k);
+    }
+    b.finish().expect("spec")
+}
+
+#[test]
+fn parallel_vs_serial_runs_are_bit_identical_across_backends_and_codecs() {
+    let spec = two_module_spec();
+    let dir = temp_dir("determinism");
+    let mut reference: Option<Vec<_>> = None;
+
+    for codec in [Codec::Json, Codec::Binary] {
+        for backend_name in ["fs", "memory"] {
+            for threads in [1usize, 4] {
+                let options = EngineOptions {
+                    threads,
+                    codec,
+                    ..EngineOptions::default()
+                };
+                let engine = Engine::with_options(SstaConfig::paper(), options);
+                let mut engine = match backend_name {
+                    "fs" => engine
+                        .with_store(dir.join(format!("{}-{threads}", codec.name())))
+                        .expect("store"),
+                    _ => engine.with_backend(MemoryBackend::new()),
+                };
+                // Cold run extracts and writes through the chosen
+                // backend/codec; a second run reads everything back.
+                let cold = engine.analyze(&spec).expect("cold analysis");
+                assert_eq!(cold.stats.extractions, 2);
+                assert_eq!(cold.stats.store_writes, 2);
+                assert_eq!(cold.stats.store_codec, Some(codec));
+                assert!(cold.stats.store_bytes_written > 0);
+
+                let arrivals = &cold.timing.po_arrivals;
+                match &reference {
+                    None => reference = Some(arrivals.clone()),
+                    Some(r) => assert_eq!(
+                        arrivals, r,
+                        "{backend_name}/{codec}/threads={threads} diverged"
+                    ),
+                }
+
+                // Warm restart over the same backend: store hits only,
+                // and byte accounting reflects the reads.
+                if backend_name == "fs" {
+                    let mut warm = Engine::with_options(
+                        SstaConfig::paper(),
+                        EngineOptions {
+                            threads,
+                            codec,
+                            ..EngineOptions::default()
+                        },
+                    )
+                    .with_store(dir.join(format!("{}-{threads}", codec.name())))
+                    .expect("store");
+                    let warm_run = warm.analyze(&spec).expect("warm analysis");
+                    assert_eq!(warm_run.stats.extractions, 0);
+                    assert_eq!(warm_run.stats.store_hits, 2);
+                    assert!(warm_run.stats.store_bytes_read > 0);
+                    assert_eq!(warm_run.stats.store_bytes_written, 0);
+                    assert_eq!(
+                        &warm_run.timing.po_arrivals,
+                        reference.as_ref().expect("set above")
+                    );
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engines_can_share_one_memory_backend() {
+    let spec = two_module_spec();
+    let shared = Arc::new(MemoryBackend::new());
+
+    let mut first = Engine::new(SstaConfig::paper()).with_backend(Arc::clone(&shared));
+    let cold = first.analyze(&spec).expect("cold");
+    assert_eq!(cold.stats.extractions, 2);
+
+    // A different engine over the same shared map starts warm.
+    let mut second = Engine::new(SstaConfig::paper()).with_backend(Arc::clone(&shared));
+    let warm = second.analyze(&spec).expect("warm");
+    assert_eq!(warm.stats.extractions, 0);
+    assert_eq!(warm.stats.store_hits, 2);
+    assert_eq!(warm.timing.po_arrivals, cold.timing.po_arrivals);
+    assert_eq!(shared.len().expect("len"), 2);
+}
