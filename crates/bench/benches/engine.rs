@@ -17,6 +17,13 @@
 //! with three *distinct* modules, where the worker pool actually fans
 //! out.
 //!
+//! A fifth group (`engine-sweep`) measures the scenario-sweep batch
+//! engine: 1 vs 4 vs 8 scenarios differing only in analysis-level knobs
+//! (one shared module fingerprint), over a cold engine and over a
+//! pre-warmed store. Single-flight dedup means the 8-scenario cold sweep
+//! pays for *one* extraction plus eight assemblies — the dedup win is
+//! measured here, not asserted.
+//!
 //! Before the timed runs, the harness prints the per-codec artifact
 //! sizes for the benchmarked multiplier module and for ISCAS-85 c880
 //! (the paper's headline circuit), straight from the engines' byte
@@ -25,7 +32,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssta_bench::{four_model_design, four_multiplier_spec};
 use ssta_core::{analyze, CorrelationMode, ExtractOptions, ModuleContext, SstaConfig};
-use ssta_engine::{Codec, DesignSpec, Engine, EngineOptions};
+use ssta_engine::{Codec, DesignSpec, Engine, EngineOptions, MemoryBackend, Scenario, ScenarioSet};
 use ssta_netlist::generators::{array_multiplier, iscas85};
 use ssta_netlist::DieRect;
 use std::sync::Arc;
@@ -212,5 +219,59 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reuse, bench_parallelism);
+/// `n` scenarios differing only in analysis-level knobs (correlation
+/// mode, yield target): one shared module fingerprint, so however many
+/// scenarios the sweep runs, it performs exactly one extraction.
+fn sweep_set(n: usize) -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for i in 0..n {
+        let mut s = Scenario::new(format!("s{i}")).with_yield_target(800.0 + 10.0 * i as f64);
+        if i % 2 == 1 {
+            s = s.with_mode(CorrelationMode::GlobalOnly);
+        }
+        set.push(s);
+    }
+    set
+}
+
+fn bench_scenario_sweep(c: &mut Criterion) {
+    let spec = four_multiplier_spec(WIDTH);
+
+    // Pre-warm a shared in-memory library for the warm-store flavor.
+    let warm_backend = std::sync::Arc::new(MemoryBackend::new());
+    Engine::new(SstaConfig::paper())
+        .with_backend(std::sync::Arc::clone(&warm_backend))
+        .analyze(&spec)
+        .expect("warm the store");
+
+    let mut group = c.benchmark_group("engine-sweep");
+    group.sample_size(10);
+    for n in [1usize, 4, 8] {
+        let set = sweep_set(n);
+        group.bench_function(format!("cold/{n}_scenarios"), |b| {
+            b.iter(|| {
+                Engine::new(SstaConfig::paper())
+                    .analyze_batch(&spec, &set)
+                    .expect("cold sweep")
+            })
+        });
+        let set = sweep_set(n);
+        group.bench_function(format!("warm_store/{n}_scenarios"), |b| {
+            b.iter(|| {
+                Engine::new(SstaConfig::paper())
+                    .with_backend(std::sync::Arc::clone(&warm_backend))
+                    .analyze_batch(&spec, &set)
+                    .expect("warm sweep")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse,
+    bench_parallelism,
+    bench_scenario_sweep
+);
 criterion_main!(benches);

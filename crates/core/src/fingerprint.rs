@@ -9,6 +9,19 @@
 //! extraction, while any semantic change — a different netlist, sigma,
 //! grid pitch or pruning threshold — produces a different key.
 //!
+//! The fingerprint is computed in two stages so the expensive part can be
+//! cached:
+//!
+//! 1. [`netlist_digest`] canonicalizes the netlist structure and its cell
+//!    library into a [`NetlistDigest`] — the costly step, proportional to
+//!    the netlist size, and independent of any configuration;
+//! 2. [`module_fingerprint_from_digest`] combines that digest with the
+//!    (small) serialized configuration and extraction options.
+//!
+//! A scenario sweep re-keys the same netlists under many configurations;
+//! stage 1 is computed once per netlist and stage 2 once per scenario,
+//! so K scenarios never re-canonicalize the same netlist K times.
+//!
 //! Scheduling knobs that cannot change results (worker-thread counts,
 //! batch sizes) are deliberately excluded, so re-running with different
 //! parallelism still hits the cache.
@@ -40,22 +53,40 @@ impl std::fmt::Display for ModuleFingerprint {
     }
 }
 
-/// Fingerprints a module: netlist structure + library + configuration +
-/// extraction options.
+/// A digest of a netlist's canonical structural form (structure + cell
+/// library, name excluded) — the configuration-independent half of a
+/// [`ModuleFingerprint`].
 ///
-/// The serialized forms are deterministic (struct fields in declaration
-/// order, maps with sorted keys, shortest round-trip floats), so equal
-/// inputs always produce equal fingerprints. The netlist *name* is a
-/// label, not structure — the same circuit registered under two names
-/// (`alu_east`/`alu_west`) must dedupe to one characterization — so it
-/// is excluded from the hash.
-pub fn module_fingerprint(
-    netlist: &Netlist,
-    config: &SstaConfig,
-    options: &ExtractOptions,
-) -> ModuleFingerprint {
+/// Computing it walks and serializes the whole netlist, so callers that
+/// fingerprint the same netlist under many configurations (scenario
+/// sweeps) should compute it once and reuse it via
+/// [`module_fingerprint_from_digest`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NetlistDigest(Sha256);
+
+impl NetlistDigest {
+    /// The digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.to_hex()
+    }
+}
+
+impl std::fmt::Display for NetlistDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Digests a netlist's canonical structural form: the serialized
+/// structure (deterministic field order, sorted maps, shortest
+/// round-trip floats) plus its cell library.
+///
+/// The netlist *name* is a label, not structure — the same circuit
+/// registered under two names (`alu_east`/`alu_west`) must dedupe to one
+/// characterization — so it is excluded from the digest.
+pub fn netlist_digest(netlist: &Netlist) -> NetlistDigest {
     let mut payload = String::new();
-    payload.push_str("hier-ssta module fingerprint v1\n");
+    payload.push_str("hier-ssta netlist digest v1\n");
     let mut structure = serde::Serialize::to_value(netlist);
     if let serde::Value::Map(entries) = &mut structure {
         entries.retain(|(field, _)| field != "name");
@@ -63,6 +94,20 @@ pub fn module_fingerprint(
     payload.push_str(&serde_json::to_string(&structure).expect("netlist serializes"));
     payload.push('\n');
     payload.push_str(&serde_json::to_string(&**netlist.library()).expect("library serializes"));
+    NetlistDigest(sha256(payload.as_bytes()))
+}
+
+/// Combines a precomputed [`NetlistDigest`] with a configuration and
+/// extraction options into the full module fingerprint — the cheap half
+/// of the two-stage scheme, independent of the netlist size.
+pub fn module_fingerprint_from_digest(
+    structure: &NetlistDigest,
+    config: &SstaConfig,
+    options: &ExtractOptions,
+) -> ModuleFingerprint {
+    let mut payload = String::new();
+    payload.push_str("hier-ssta module fingerprint v2\n");
+    payload.push_str(&structure.to_hex());
     payload.push('\n');
     payload.push_str(&serde_json::to_string(config).expect("config serializes"));
     payload.push('\n');
@@ -79,6 +124,20 @@ pub fn module_fingerprint(
         options.max_merge_rounds,
     ));
     ModuleFingerprint(sha256(payload.as_bytes()))
+}
+
+/// Fingerprints a module: netlist structure + library + configuration +
+/// extraction options.
+///
+/// Equivalent to [`netlist_digest`] followed by
+/// [`module_fingerprint_from_digest`]; equal inputs always produce equal
+/// fingerprints.
+pub fn module_fingerprint(
+    netlist: &Netlist,
+    config: &SstaConfig,
+    options: &ExtractOptions,
+) -> ModuleFingerprint {
+    module_fingerprint_from_digest(&netlist_digest(netlist), config, options)
 }
 
 #[cfg(test)]
@@ -99,6 +158,18 @@ mod tests {
     }
 
     #[test]
+    fn staged_and_direct_fingerprints_agree() {
+        let n = adder();
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        let digest = netlist_digest(&n);
+        assert_eq!(
+            module_fingerprint(&n, &cfg, &opts),
+            module_fingerprint_from_digest(&digest, &cfg, &opts)
+        );
+    }
+
+    #[test]
     fn renaming_a_netlist_keeps_the_key() {
         // The name is a label: same structure, different label, one
         // characterization unit.
@@ -106,6 +177,7 @@ mod tests {
         let opts = ExtractOptions::default();
         let base = module_fingerprint(&adder(), &cfg, &opts);
         let renamed = adder().renamed("alu_west");
+        assert_eq!(netlist_digest(&adder()), netlist_digest(&renamed));
         assert_eq!(base, module_fingerprint(&renamed, &cfg, &opts));
     }
 
@@ -115,6 +187,7 @@ mod tests {
         let large = generators::ripple_carry_adder(5).unwrap();
         let cfg = SstaConfig::paper();
         let opts = ExtractOptions::default();
+        assert_ne!(netlist_digest(&small), netlist_digest(&large));
         assert_ne!(
             module_fingerprint(&small, &cfg, &opts),
             module_fingerprint(&large, &cfg, &opts)

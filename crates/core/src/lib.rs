@@ -18,6 +18,9 @@
 //!   roughly 2–3× smaller than the JSON encoding;
 //! * [`hier`] — hierarchical design analysis with heterogeneous grids and
 //!   independent-variable replacement (Section V);
+//! * [`scenario`] — named what-if overlays of the analysis setup, split
+//!   into extraction-relevant and analysis-level knobs so sweeps share
+//!   cached models wherever the math allows;
 //! * [`yield_analysis`] — delay-yield utilities.
 //!
 //! # Example: extract a timing model and inspect its compression
@@ -52,6 +55,7 @@ pub mod criticality;
 pub mod extract;
 pub mod fingerprint;
 pub mod hier;
+pub mod scenario;
 pub mod spatial;
 pub mod yield_analysis;
 
@@ -59,8 +63,12 @@ pub use canonical::CanonicalForm;
 pub use criticality::CriticalityOptions;
 pub use error::CoreError;
 pub use extract::{ExtractOptions, ExtractionStats, TimingModel};
-pub use fingerprint::{module_fingerprint, ModuleFingerprint};
+pub use fingerprint::{
+    module_fingerprint, module_fingerprint_from_digest, netlist_digest, ModuleFingerprint,
+    NetlistDigest,
+};
 pub use hier::{analyze, CorrelationMode, Design, DesignBuilder, DesignTiming};
 pub use module::ModuleContext;
 pub use params::{ParameterSpec, SstaConfig, VariableLayout};
+pub use scenario::ScenarioOverlay;
 pub use spatial::{CorrelationModel, GridGeometry};

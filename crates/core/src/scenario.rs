@@ -1,0 +1,156 @@
+//! Scenario overlays: named what-if variations of an analysis setup.
+//!
+//! The extraction flow's whole economics rest on reuse — the same IP
+//! block analyzed under many designs, corners and configurations, with
+//! the characterization cost amortized across them. A
+//! [`ScenarioOverlay`] captures one such variation as a *delta* over a
+//! base setup: an optional replacement [`SstaConfig`] and/or
+//! [`ExtractOptions`] (both feed the module fingerprint, so changing
+//! them re-keys the cached models), plus analysis-level knobs that
+//! deliberately do **not** touch extraction — the correlation-handling
+//! mode of the top-level analysis and an optional yield target read off
+//! the final delay distribution.
+//!
+//! The split matters for caching: two scenarios whose resolved
+//! `(SstaConfig, ExtractOptions)` are equal produce equal module
+//! fingerprints and therefore *share* extracted models, no matter how
+//! their analysis-level knobs differ. The fingerprint machinery
+//! ([`crate::fingerprint`]) enforces this by construction — the overlay
+//! type just makes the boundary explicit in the API.
+
+use crate::extract::ExtractOptions;
+use crate::hier::CorrelationMode;
+use crate::params::SstaConfig;
+
+/// A named-scenario delta over a base `(SstaConfig, ExtractOptions,
+/// CorrelationMode)` triple.
+///
+/// Every field is optional; an empty overlay reproduces the base setup
+/// exactly. `config` and `extract` are extraction-relevant (they change
+/// module fingerprints and thus cache keys); `mode` and
+/// `yield_target_ps` are analysis-level only and never invalidate a
+/// cached model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioOverlay {
+    /// Replaces the base analysis configuration (extraction-relevant).
+    pub config: Option<SstaConfig>,
+    /// Replaces the base extraction options (extraction-relevant).
+    pub extract: Option<ExtractOptions>,
+    /// Overrides the correlation handling of the top-level analysis
+    /// (analysis-level: cached models are shared with the base).
+    pub mode: Option<CorrelationMode>,
+    /// Reports parametric yield `P{delay ≤ target}` at this clock
+    /// target, in ps (analysis-level: cached models are shared with the
+    /// base).
+    pub yield_target_ps: Option<f64>,
+}
+
+impl ScenarioOverlay {
+    /// An empty overlay: the base setup, unchanged.
+    pub fn new() -> Self {
+        ScenarioOverlay::default()
+    }
+
+    /// Replaces the analysis configuration.
+    pub fn with_config(mut self, config: SstaConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Replaces the extraction options.
+    pub fn with_extract(mut self, extract: ExtractOptions) -> Self {
+        self.extract = Some(extract);
+        self
+    }
+
+    /// Overrides the top-level correlation mode.
+    pub fn with_mode(mut self, mode: CorrelationMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Requests a yield read-out at `target_ps`.
+    pub fn with_yield_target(mut self, target_ps: f64) -> Self {
+        self.yield_target_ps = Some(target_ps);
+        self
+    }
+
+    /// Whether this overlay can change module fingerprints (i.e. touches
+    /// the characterization/extraction inputs). Note the converse does
+    /// not hold: replacing the config with a value *equal* to the base
+    /// still yields the base fingerprints — keys are content-derived,
+    /// never identity-derived.
+    pub fn touches_extraction_inputs(&self) -> bool {
+        self.config.is_some() || self.extract.is_some()
+    }
+
+    /// Resolves the overlay against a base setup, returning the
+    /// effective `(config, extract, mode)` triple for this scenario.
+    pub fn resolve(
+        &self,
+        base_config: &SstaConfig,
+        base_extract: &ExtractOptions,
+        base_mode: CorrelationMode,
+    ) -> (SstaConfig, ExtractOptions, CorrelationMode) {
+        (
+            self.config.clone().unwrap_or_else(|| base_config.clone()),
+            self.extract.clone().unwrap_or_else(|| base_extract.clone()),
+            self.mode.unwrap_or(base_mode),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::module_fingerprint;
+    use ssta_netlist::generators;
+
+    #[test]
+    fn empty_overlay_resolves_to_the_base() {
+        let base = SstaConfig::paper();
+        let extract = ExtractOptions::default();
+        let (c, e, m) = ScenarioOverlay::new().resolve(&base, &extract, CorrelationMode::Proposed);
+        assert_eq!(c, base);
+        assert_eq!(e, extract);
+        assert_eq!(m, CorrelationMode::Proposed);
+    }
+
+    #[test]
+    fn analysis_level_knobs_do_not_touch_extraction_inputs() {
+        let overlay = ScenarioOverlay::new()
+            .with_mode(CorrelationMode::GlobalOnly)
+            .with_yield_target(1200.0);
+        assert!(!overlay.touches_extraction_inputs());
+
+        let netlist = generators::ripple_carry_adder(3).unwrap();
+        let base = SstaConfig::paper();
+        let extract = ExtractOptions::default();
+        let (c, e, _) = overlay.resolve(&base, &extract, CorrelationMode::Proposed);
+        assert_eq!(
+            module_fingerprint(&netlist, &base, &extract),
+            module_fingerprint(&netlist, &c, &e),
+            "mode/yield overlays must preserve cache keys"
+        );
+    }
+
+    #[test]
+    fn config_overlay_rekeys_the_models() {
+        let mut high_sigma = SstaConfig::paper();
+        for p in &mut high_sigma.parameters {
+            p.sigma_rel = (p.sigma_rel * 1.5).min(0.9);
+        }
+        let overlay = ScenarioOverlay::new().with_config(high_sigma);
+        assert!(overlay.touches_extraction_inputs());
+
+        let netlist = generators::ripple_carry_adder(3).unwrap();
+        let base = SstaConfig::paper();
+        let extract = ExtractOptions::default();
+        let (c, e, _) = overlay.resolve(&base, &extract, CorrelationMode::Proposed);
+        assert_ne!(
+            module_fingerprint(&netlist, &base, &extract),
+            module_fingerprint(&netlist, &c, &e),
+            "sigma changes must re-key cached models"
+        );
+    }
+}

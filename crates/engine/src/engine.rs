@@ -1,44 +1,47 @@
-//! The analysis engine: dedupe, schedule, cache, assemble, analyze.
+//! The analysis engine: a staged pipeline plus a scenario-sweep batch
+//! scheduler over shared caches.
 //!
-//! [`Engine::analyze`] turns a [`DesignSpec`] into a [`DesignTiming`] in
-//! four steps:
+//! One analysis flows through four stages (see [`crate::pipeline`]):
+//! **plan** (fingerprint + dedupe module definitions), **resolve**
+//! (session cache → persistent [`ModelStore`] → parallel extraction),
+//! **assemble** (build the design, run the top-level hierarchical
+//! analysis) and **report** ([`RunStats`]/[`BatchStats`]).
 //!
-//! 1. **Fingerprint** every module definition
-//!    ([`ssta_core::module_fingerprint`]) and deduplicate identical
-//!    definitions — four instances of one multiplier, or two separately
-//!    registered but structurally identical blocks, resolve to a single
-//!    characterization unit.
-//! 2. **Resolve** each distinct fingerprint against the two cache tiers:
-//!    the in-memory session cache, then the persistent [`ModelStore`]
-//!    (when attached). A corrupt store artifact is rejected by the store
-//!    layer, counted, and transparently recomputed.
-//! 3. **Extract** the remaining modules in parallel over scoped worker
-//!    threads. Characterization and extraction are deterministic pure
-//!    functions of the fingerprinted inputs, so the thread count cannot
-//!    change any result bit — only the wall clock.
-//! 4. **Assemble** the design from the resolved models and run the
-//!    top-level hierarchical analysis (partition, design PCA, variable
-//!    replacement, propagation).
+//! [`Engine::analyze`] runs exactly one trip through that pipeline — it
+//! is a single-scenario batch. [`Engine::analyze_batch`] sweeps one
+//! [`DesignSpec`] across a [`ScenarioSet`] of named configuration
+//! overlays, running scenarios in parallel over one shared store with a
+//! **single-flight table** deduplicating concurrent extractions: N
+//! scenarios needing the same `(module, fingerprint)` trigger exactly
+//! one characterization, however they race. Scenarios that differ only
+//! in analysis-level knobs (correlation mode, yield target) share cached
+//! models by construction, because fingerprints are derived from the
+//! extraction-relevant inputs alone.
 //!
-//! Invalidation ([`Engine::invalidate`]) drops one module from both cache
-//! tiers; the next analyze re-extracts exactly that module and reuses
-//! every other cached model, which is the incremental re-analysis story:
-//! an ECO in one IP block costs one extraction plus the top-level
+//! Invalidation ([`Engine::invalidate`]) drops one module from both
+//! cache tiers; the next analyze re-extracts exactly that module and
+//! reuses every other cached model, which is the incremental re-analysis
+//! story: an ECO in one IP block costs one extraction plus the top-level
 //! assembly, never a full re-characterization.
 
 use crate::error::EngineError;
+use crate::pipeline::{
+    self, effective_threads, parallel_indexed, singleflight::SingleFlight, ScenarioParams,
+    SessionCache, SharedState,
+};
+use crate::scenario::ScenarioSet;
 use crate::spec::{DesignSpec, ModuleId};
 use crate::store::{Codec, FsBackend, ModelStore, StorageBackend};
 use ssta_core::{
-    analyze, module_fingerprint, CorrelationMode, Design, DesignBuilder, DesignTiming,
+    module_fingerprint, module_fingerprint_from_digest, netlist_digest, CorrelationMode,
     ExtractOptions, ModuleContext, SstaConfig, TimingModel,
 };
 use ssta_netlist::Netlist;
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+
+pub use crate::pipeline::report::{BatchRun, BatchStats, EngineRun, RunStats, ScenarioRun};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,8 +51,9 @@ pub struct EngineOptions {
     pub extract: ExtractOptions,
     /// Correlation handling for the top-level analysis.
     pub mode: CorrelationMode,
-    /// Worker threads for module characterization/extraction; `0` uses
-    /// the available parallelism, `1` forces the serial path.
+    /// Worker threads for module characterization/extraction and for
+    /// scenario fan-out in batch runs; `0` uses the available
+    /// parallelism, `1` forces the serial path.
     pub threads: usize,
     /// Payload codec for model-library writes (reads auto-detect).
     /// Not part of the cache key: both codecs store the same model
@@ -79,50 +83,6 @@ pub enum ModelSource {
     Extracted,
 }
 
-/// Accounting for one [`Engine::analyze`] run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct RunStats {
-    /// Instances in the analyzed design.
-    pub instances: usize,
-    /// Distinct module definitions after fingerprint deduplication.
-    pub distinct_modules: usize,
-    /// Modules characterized + extracted in this run (cache misses).
-    pub extractions: usize,
-    /// Modules served from the in-memory session cache.
-    pub memory_hits: usize,
-    /// Modules served from the persistent model library.
-    pub store_hits: usize,
-    /// Store artifacts rejected as corrupt/mismatched and recomputed.
-    pub store_rejects: usize,
-    /// Models written to the persistent library in this run.
-    pub store_writes: usize,
-    /// Failed library writes (read-only mount, disk full, …). The cache
-    /// is best-effort: a failed write never fails the analysis.
-    pub store_write_failures: usize,
-    /// Artifact bytes written to the persistent library in this run
-    /// (envelope headers included).
-    pub store_bytes_written: u64,
-    /// Artifact bytes read from the persistent library in this run,
-    /// counting hits only (envelope headers included).
-    pub store_bytes_read: u64,
-    /// Codec used for library writes; `None` when no store is attached.
-    pub store_codec: Option<Codec>,
-    /// Wall-clock seconds resolving models (cache lookups + parallel
-    /// extraction).
-    pub resolve_seconds: f64,
-    /// Wall-clock seconds assembling and analyzing the top level.
-    pub assembly_seconds: f64,
-}
-
-/// The result of one engine run.
-#[derive(Debug, Clone)]
-pub struct EngineRun {
-    /// The design-level timing result.
-    pub timing: DesignTiming,
-    /// What the run cost and where its models came from.
-    pub stats: RunStats,
-}
-
 /// A parallel, cache-backed hierarchical analysis engine.
 ///
 /// The persistent tier is backend-agnostic: [`Engine::with_store`]
@@ -134,7 +94,7 @@ pub struct EngineRun {
 pub struct Engine {
     config: SstaConfig,
     options: EngineOptions,
-    memory: HashMap<String, std::sync::Arc<TimingModel>>,
+    memory: SessionCache,
     store: Option<ModelStore<Box<dyn StorageBackend>>>,
 }
 
@@ -150,7 +110,7 @@ impl Engine {
         Engine {
             config,
             options,
-            memory: HashMap::new(),
+            memory: SessionCache::default(),
             store: None,
         }
     }
@@ -210,15 +170,18 @@ impl Engine {
         &mut self,
         netlist: &Netlist,
     ) -> Result<(std::sync::Arc<TimingModel>, ModelSource), EngineError> {
-        let key = self.module_key(netlist);
+        let digest = netlist_digest(netlist);
+        let key =
+            module_fingerprint_from_digest(&digest, &self.config, &self.options.extract).to_hex();
         if let Some(m) = self.memory.get(&key) {
-            return Ok((std::sync::Arc::clone(m), ModelSource::Memory));
+            return Ok((m, ModelSource::Memory));
         }
         if let Some(store) = &self.store {
             match store.load(&key) {
                 Ok(Some(model)) => {
                     let model = std::sync::Arc::new(model);
-                    self.memory.insert(key, std::sync::Arc::clone(&model));
+                    self.memory
+                        .insert(&digest, key, std::sync::Arc::clone(&model));
                     return Ok((model, ModelSource::Store));
                 }
                 Ok(None) | Err(EngineError::Store { .. }) => {}
@@ -232,12 +195,20 @@ impl Engine {
             // regardless.
             let _ = store.save(&key, &model);
         }
-        self.memory.insert(key, std::sync::Arc::clone(&model));
+        self.memory
+            .insert(&digest, key, std::sync::Arc::clone(&model));
         Ok((model, ModelSource::Extracted))
     }
 
-    /// Drops `module` of `spec` from every cache tier; the next analyze
-    /// re-extracts exactly this module. Returns whether any tier held it.
+    /// Drops `module` of `spec` from every cache tier — under every
+    /// configuration this engine has resolved it (the base setup and any
+    /// scenario overlays), plus the base key itself whether or not it
+    /// was ever cached. The next analyze (or batch) re-extracts exactly
+    /// this module. Returns whether any tier held it.
+    ///
+    /// Store artifacts written under configurations this engine never
+    /// resolved (other processes, other overlays) are untouched — their
+    /// keys cannot be enumerated from the module alone.
     ///
     /// # Errors
     ///
@@ -250,12 +221,20 @@ impl Engine {
             .ok_or_else(|| EngineError::Spec {
                 reason: format!("module id {} does not exist", module.0),
             })?;
-        let key = self.module_key(&def.netlist);
-        let in_memory = self.memory.remove(&key).is_some();
-        let in_store = match &self.store {
-            Some(store) => store.remove(&key)?,
-            None => false,
-        };
+        let digest = def.structural_digest();
+        let base_key =
+            module_fingerprint_from_digest(digest, &self.config, &self.options.extract).to_hex();
+        let mut keys = self.memory.take_digest_keys(digest);
+        let in_memory = !keys.is_empty();
+        if !keys.contains(&base_key) {
+            keys.push(base_key);
+        }
+        let mut in_store = false;
+        if let Some(store) = &self.store {
+            for key in &keys {
+                in_store |= store.remove(key)?;
+            }
+        }
         Ok(in_memory || in_store)
     }
 
@@ -274,170 +253,112 @@ impl Engine {
         Ok(())
     }
 
-    /// Analyzes a design spec: deduplicate modules, resolve them through
-    /// the caches (extracting misses in parallel), assemble the design
-    /// and run the top-level hierarchical analysis.
+    /// Analyzes a design spec through the staged pipeline: plan
+    /// (deduplicate modules by fingerprint), resolve them through the
+    /// caches (extracting misses in parallel), assemble the design and
+    /// run the top-level hierarchical analysis.
+    ///
+    /// Equivalent to a single-scenario [`Engine::analyze_batch`] with an
+    /// empty overlay.
     ///
     /// # Errors
     ///
     /// Propagates spec, characterization/extraction, store and analysis
     /// failures.
     pub fn analyze(&mut self, spec: &DesignSpec) -> Result<EngineRun, EngineError> {
-        let resolve_started = Instant::now();
-        let mut stats = RunStats {
-            instances: spec.instances.len(),
-            store_codec: self.store.as_ref().map(ModelStore::codec),
-            ..RunStats::default()
-        };
-
-        // Step 1: fingerprint + dedupe the definitions that are actually
-        // instantiated — a registered-but-unused definition must not cost
-        // an extraction (or skew the stats).
-        let mut keys: Vec<Option<String>> = vec![None; spec.modules.len()];
-        for inst in &spec.instances {
-            let idx = inst.module.0;
-            if keys[idx].is_none() {
-                keys[idx] = Some(self.module_key(&spec.modules[idx].netlist));
-            }
-        }
-        let mut distinct: Vec<(String, usize)> = Vec::new(); // (key, module idx)
-        for (idx, key) in keys.iter().enumerate() {
-            let Some(key) = key else { continue };
-            if !distinct.iter().any(|(k, _)| k == key) {
-                distinct.push((key.clone(), idx));
-            }
-        }
-        stats.distinct_modules = distinct.len();
-
-        // Step 2: cache tiers.
-        let mut jobs: Vec<(String, usize)> = Vec::new();
-        for (key, idx) in &distinct {
-            if self.memory.contains_key(key) {
-                stats.memory_hits += 1;
-                continue;
-            }
-            if let Some(store) = &self.store {
-                match store.load_traced(key) {
-                    Ok(Some((model, info))) => {
-                        self.memory.insert(key.clone(), std::sync::Arc::new(model));
-                        stats.store_hits += 1;
-                        stats.store_bytes_read += info.bytes as u64;
-                        continue;
-                    }
-                    Ok(None) => {}
-                    Err(EngineError::Store { .. }) => stats.store_rejects += 1,
-                    Err(e) => return Err(e),
-                }
-            }
-            jobs.push((key.clone(), *idx));
-        }
-
-        // Step 3: extract misses in parallel.
-        stats.extractions = jobs.len();
-        if !jobs.is_empty() {
-            let extracted = extract_parallel(spec, &jobs, &self.config, &self.options)?;
-            for ((key, _), model) in jobs.iter().zip(extracted) {
-                let model = std::sync::Arc::new(model);
-                if let Some(store) = &self.store {
-                    // Best-effort: the model is already in hand, so a
-                    // failed cache write (read-only library, full disk)
-                    // must not fail the analysis.
-                    match store.save_traced(key, &model) {
-                        Ok(bytes) => {
-                            stats.store_writes += 1;
-                            stats.store_bytes_written += bytes as u64;
-                        }
-                        Err(_) => stats.store_write_failures += 1,
-                    }
-                }
-                self.memory.insert(key.clone(), model);
-            }
-        }
-        stats.resolve_seconds = resolve_started.elapsed().as_secs_f64();
-
-        // Step 4: assemble + top-level analysis.
-        let assembly_started = Instant::now();
-        let design = self.assemble(spec, &keys)?;
-        let timing = analyze(&design, self.options.mode)?;
-        stats.assembly_seconds = assembly_started.elapsed().as_secs_f64();
-
-        Ok(EngineRun { timing, stats })
+        let mut batch = self.analyze_batch(spec, &ScenarioSet::baseline())?;
+        let run = batch.scenarios.pop().expect("baseline has one scenario");
+        Ok(EngineRun {
+            timing: run.timing,
+            stats: run.stats,
+        })
     }
 
-    /// Builds the [`Design`] from cached models (all of which exist once
-    /// [`Engine::analyze`] reaches this step).
-    fn assemble(&self, spec: &DesignSpec, keys: &[Option<String>]) -> Result<Design, EngineError> {
-        let mut b = DesignBuilder::new(spec.name.clone(), spec.die, self.config.clone());
-        for inst in &spec.instances {
-            let key = keys[inst.module.0]
-                .as_ref()
-                .expect("instanced modules were fingerprinted above");
-            let model = self.memory.get(key).expect("model resolved above");
-            b.add_instance(
-                inst.name.clone(),
-                std::sync::Arc::clone(model),
-                None,
-                inst.origin,
-            )?;
-        }
-        for c in &spec.connections {
-            b.connect(c.from.0, c.from.1, c.to.0, c.to.1, c.wire_delay_ps)?;
-        }
-        for targets in &spec.pi_bindings {
-            b.expose_input(targets.clone())?;
-        }
-        for &(inst, port) in &spec.po_sources {
-            b.expose_output(inst, port)?;
-        }
-        Ok(b.finish()?)
-    }
-}
-
-/// Characterizes and extracts the given `(key, module idx)` jobs across
-/// scoped worker threads, returning models in job order.
-fn extract_parallel(
-    spec: &DesignSpec,
-    jobs: &[(String, usize)],
-    config: &SstaConfig,
-    options: &EngineOptions,
-) -> Result<Vec<TimingModel>, EngineError> {
-    let workers = match options.threads {
-        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
-        n => n,
-    }
-    .min(jobs.len());
-
-    let run_job = |idx: usize| -> Result<TimingModel, EngineError> {
-        let def = &spec.modules[jobs[idx].1];
-        let ctx = ModuleContext::characterize((*def.netlist).clone(), config)?;
-        Ok(ctx.extract_model(&options.extract)?)
-    };
-
-    if workers <= 1 {
-        return jobs.iter().enumerate().map(|(i, _)| run_job(i)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<TimingModel, EngineError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let result = run_job(i);
-                *slots[i].lock().expect("result slot") = Some(result);
+    /// Sweeps one design spec across a set of named scenarios, sharing
+    /// this engine's caches and store across all of them.
+    ///
+    /// Scenarios run in parallel (bounded by [`EngineOptions::threads`];
+    /// `1` forces a serial sweep). Concurrent misses on the same module
+    /// fingerprint are single-flighted: exactly one scenario leads the
+    /// resolution, the rest coalesce onto it — so a batch performs at
+    /// most [`BatchStats::distinct_fingerprints`] extractions no matter
+    /// how many scenarios race. Extraction is deterministic, so batch
+    /// results are bit-identical to running the scenarios one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Spec`] for an empty scenario set and
+    /// propagates the first failing scenario's error (in scenario-set
+    /// order).
+    pub fn analyze_batch(
+        &mut self,
+        spec: &DesignSpec,
+        scenarios: &ScenarioSet,
+    ) -> Result<BatchRun, EngineError> {
+        if scenarios.is_empty() {
+            return Err(EngineError::Spec {
+                reason: "a batch needs at least one scenario".into(),
             });
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every job ran")
+        let started = Instant::now();
+        let params: Vec<ScenarioParams> = scenarios
+            .iter()
+            .map(|s| {
+                let (config, extract, mode) =
+                    s.overlay
+                        .resolve(&self.config, &self.options.extract, self.options.mode);
+                ScenarioParams {
+                    name: s.name.clone(),
+                    config,
+                    extract,
+                    mode,
+                    yield_target_ps: s.overlay.yield_target_ps,
+                }
+            })
+            .collect();
+
+        // One thread budget bounds both fan-out levels: scenarios get up
+        // to `workers` threads, and each scenario's resolve stage gets
+        // the budget divided by the scenario fan-out — so a batch never
+        // oversubscribes to workers² OS threads.
+        let workers = effective_threads(self.options.threads);
+        let scenario_workers = workers.min(params.len());
+        let flights = SingleFlight::new();
+        let shared = SharedState {
+            cache: &self.memory,
+            flights: &flights,
+            store: self.store.as_ref(),
+            threads: (workers / scenario_workers.max(1)).max(1),
+        };
+
+        let outcomes = parallel_indexed(params.len(), scenario_workers, |i| {
+            pipeline::run_scenario(spec, &params[i], &shared)
+        });
+        // The batch-wide fingerprint universe: the union of every
+        // scenario's plan, as reported by the runs themselves.
+        let mut runs: Vec<ScenarioRun> = Vec::with_capacity(outcomes.len());
+        let mut distinct: BTreeSet<String> = BTreeSet::new();
+        for outcome in outcomes {
+            let (run, keys) = outcome?;
+            runs.push(run);
+            distinct.extend(keys);
+        }
+
+        let mut stats = BatchStats {
+            scenarios: runs.len(),
+            instances: spec.instances.len(),
+            distinct_fingerprints: distinct.len(),
+            store_codec: self.store.as_ref().map(ModelStore::codec),
+            ..BatchStats::default()
+        };
+        for run in &runs {
+            stats.absorb(&run.stats);
+        }
+        stats.elapsed_seconds = started.elapsed().as_secs_f64();
+
+        Ok(BatchRun {
+            scenarios: runs,
+            stats,
         })
-        .collect()
+    }
 }

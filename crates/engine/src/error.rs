@@ -22,6 +22,11 @@ pub enum EngineError {
         /// The first violation found.
         reason: String,
     },
+    /// A failure shared from another scenario's in-flight resolution of
+    /// the same module: the single-flight table coalesced this request
+    /// onto a resolution that then failed, and the original error is
+    /// jointly owned by every waiter.
+    Flight(std::sync::Arc<EngineError>),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +36,7 @@ impl fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "model library I/O error: {e}"),
             EngineError::Store { reason } => write!(f, "model library artifact rejected: {reason}"),
             EngineError::Spec { reason } => write!(f, "invalid design spec: {reason}"),
+            EngineError::Flight(e) => write!(f, "coalesced module resolution failed: {e}"),
         }
     }
 }
@@ -40,7 +46,27 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Io(e) => Some(e),
+            EngineError::Flight(e) => Some(e.as_ref()),
             _ => None,
+        }
+    }
+}
+
+impl EngineError {
+    /// A structurally equivalent copy for sharing across single-flight
+    /// waiters. Every variant clones; `Io` — whose payload is not
+    /// clonable — is re-created from its kind and rendered message.
+    pub(crate) fn shared_copy(&self) -> EngineError {
+        match self {
+            EngineError::Core(e) => EngineError::Core(e.clone()),
+            EngineError::Io(e) => EngineError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            EngineError::Store { reason } => EngineError::Store {
+                reason: reason.clone(),
+            },
+            EngineError::Spec { reason } => EngineError::Spec {
+                reason: reason.clone(),
+            },
+            EngineError::Flight(e) => EngineError::Flight(std::sync::Arc::clone(e)),
         }
     }
 }

@@ -17,12 +17,20 @@
 //!   artifacts cleanly. Payloads are compact deterministic binary by
 //!   default ([`Codec::Binary`]), with JSON ([`Codec::Json`]) still
 //!   read and writable, and legacy v1 artifacts migrate in place;
-//! * [`Engine`] — a **scheduler** that walks a [`DesignSpec`],
-//!   deduplicates identical module definitions by fingerprint, resolves
-//!   each distinct module through the in-memory and persistent cache
-//!   tiers, and characterizes/extracts the misses **in parallel** over
-//!   scoped threads (thread count cannot change results — extraction is a
+//! * [`Engine`] — a **staged pipeline** (plan → resolve → assemble →
+//!   report) that walks a [`DesignSpec`], deduplicates identical module
+//!   definitions by fingerprint, resolves each distinct module through
+//!   the in-memory and persistent cache tiers, and
+//!   characterizes/extracts the misses **in parallel** over scoped
+//!   threads (thread count cannot change results — extraction is a
 //!   deterministic pure function of the fingerprinted inputs);
+//! * [`Engine::analyze_batch`] — a **scenario-sweep batch scheduler**:
+//!   a [`ScenarioSet`] of named configuration overlays analyzed over one
+//!   shared store, with concurrent extractions deduplicated by a
+//!   single-flight table — N scenarios needing the same
+//!   `(module, fingerprint)` trigger exactly one extraction, and
+//!   scenarios differing only in analysis-level knobs (correlation mode,
+//!   yield target) share cached models outright;
 //! * **incremental re-analysis** — [`Engine::invalidate`] drops one
 //!   module from both tiers; the next [`Engine::analyze`] recomputes only
 //!   it plus the top-level assembly, serving every other model from
@@ -80,10 +88,15 @@
 
 mod engine;
 mod error;
+mod pipeline;
+mod scenario;
 mod spec;
 pub mod store;
 
-pub use engine::{Engine, EngineOptions, EngineRun, ModelSource, RunStats};
+pub use engine::{
+    BatchRun, BatchStats, Engine, EngineOptions, EngineRun, ModelSource, RunStats, ScenarioRun,
+};
 pub use error::EngineError;
+pub use scenario::{Scenario, ScenarioSet};
 pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
 pub use store::{ArtifactInfo, Codec, FsBackend, MemoryBackend, ModelStore, StorageBackend};

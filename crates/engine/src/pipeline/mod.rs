@@ -1,0 +1,240 @@
+//! The staged analysis pipeline.
+//!
+//! [`Engine::analyze`](crate::Engine::analyze) used to be a one-shot
+//! monolith; it is now a thin wrapper over this subsystem, which splits
+//! one analysis into four stages so a batch scheduler can interleave
+//! many of them over shared state:
+//!
+//! 1. **plan** ([`plan`]) — fingerprint + dedupe the instantiated module
+//!    definitions under one scenario's resolved configuration, reusing
+//!    memoized netlist digests;
+//! 2. **resolve** ([`resolve`]) — satisfy every planned fingerprint
+//!    through the cache tiers (session memory → persistent library →
+//!    parallel extraction), single-flighted across concurrent scenarios;
+//! 3. **assemble** ([`assemble`]) — build the design from resolved
+//!    models and run the top-level hierarchical analysis;
+//! 4. **report** ([`report`]) — per-run / per-batch accounting with
+//!    compact `Display` summaries.
+//!
+//! Shared state lives in [`SharedState`]: the session cache and store
+//! are shared by every scenario of a batch (and across batches, via the
+//! engine), while the [`SingleFlight`](singleflight::SingleFlight) table
+//! is scoped to one batch — it dedupes *concurrency*, the caches dedupe
+//! *storage*.
+
+pub(crate) mod assemble;
+pub(crate) mod plan;
+pub(crate) mod report;
+pub(crate) mod resolve;
+pub(crate) mod singleflight;
+
+use crate::error::EngineError;
+use crate::spec::DesignSpec;
+use crate::store::{ModelStore, StorageBackend};
+use report::{RunStats, ScenarioRun};
+use singleflight::SingleFlight;
+use ssta_core::{
+    yield_analysis, CorrelationMode, ExtractOptions, NetlistDigest, SstaConfig, TimingModel,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// The engine's in-memory model cache, shared across scenarios, runs and
+/// worker threads.
+///
+/// Alongside the key → model map it maintains a structural-digest →
+/// keys index, because one module resolves to *many* keys across
+/// scenario overlays: invalidating a module must drop every
+/// configuration's model, not just the base key.
+#[derive(Debug, Default)]
+pub(crate) struct SessionCache {
+    inner: RwLock<SessionCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct SessionCacheInner {
+    models: HashMap<String, Arc<TimingModel>>,
+    by_digest: HashMap<String, Vec<String>>,
+}
+
+impl SessionCache {
+    /// The cached model for `key`, if any.
+    pub(crate) fn get(&self, key: &str) -> Option<Arc<TimingModel>> {
+        self.inner
+            .read()
+            .expect("session cache lock")
+            .models
+            .get(key)
+            .cloned()
+    }
+
+    /// Whether `key` is cached.
+    pub(crate) fn contains(&self, key: &str) -> bool {
+        self.inner
+            .read()
+            .expect("session cache lock")
+            .models
+            .contains_key(key)
+    }
+
+    /// Caches `model` under `key`, indexed by the structural digest it
+    /// was derived from.
+    pub(crate) fn insert(&self, digest: &NetlistDigest, key: String, model: Arc<TimingModel>) {
+        let mut inner = self.inner.write().expect("session cache lock");
+        if inner.models.insert(key.clone(), model).is_none() {
+            inner
+                .by_digest
+                .entry(digest.to_hex())
+                .or_default()
+                .push(key);
+        }
+    }
+
+    /// Drops every cached key derived from `digest` (base configuration
+    /// and scenario overlays alike), returning the dropped keys so the
+    /// caller can mirror the removal into the persistent tier.
+    pub(crate) fn take_digest_keys(&self, digest: &NetlistDigest) -> Vec<String> {
+        let mut inner = self.inner.write().expect("session cache lock");
+        let keys = inner.by_digest.remove(&digest.to_hex()).unwrap_or_default();
+        for key in &keys {
+            inner.models.remove(key);
+        }
+        keys
+    }
+
+    /// Drops every cached model.
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.write().expect("session cache lock");
+        inner.models.clear();
+        inner.by_digest.clear();
+    }
+}
+
+/// One scenario's fully resolved analysis parameters (base setup with
+/// its overlay already applied).
+#[derive(Debug, Clone)]
+pub(crate) struct ScenarioParams {
+    /// Scenario label.
+    pub name: String,
+    /// Effective analysis configuration (extraction-relevant).
+    pub config: SstaConfig,
+    /// Effective extraction options (extraction-relevant).
+    pub extract: ExtractOptions,
+    /// Effective top-level correlation mode (analysis-level).
+    pub mode: CorrelationMode,
+    /// Optional yield read-out target in ps (analysis-level).
+    pub yield_target_ps: Option<f64>,
+}
+
+/// State shared by every scenario of one batch.
+pub(crate) struct SharedState<'a> {
+    /// The engine's session cache.
+    pub cache: &'a SessionCache,
+    /// The batch's single-flight table.
+    pub flights: &'a SingleFlight,
+    /// The engine's persistent model library, if attached.
+    pub store: Option<&'a ModelStore<Box<dyn StorageBackend>>>,
+    /// Worker threads for the resolve stage (already defaulted, ≥ 1).
+    pub threads: usize,
+}
+
+/// Resolves a thread-count option: `0` means available parallelism.
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Runs `run(i)` for `i in 0..n` across up to `workers` scoped threads,
+/// returning results in index order. `workers <= 1` runs inline. The
+/// index order of results (and therefore every fold over them) is
+/// deterministic regardless of scheduling.
+pub(crate) fn parallel_indexed<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = run(i);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index ran")
+        })
+        .collect()
+}
+
+/// Runs one scenario through the full pipeline: plan → resolve →
+/// assemble/analyze → report. Also returns the scenario's distinct
+/// fingerprint keys so a batch can union them without re-planning.
+pub(crate) fn run_scenario(
+    spec: &DesignSpec,
+    params: &ScenarioParams,
+    shared: &SharedState<'_>,
+) -> Result<(ScenarioRun, Vec<String>), EngineError> {
+    let resolve_started = Instant::now();
+    let mut stats = RunStats {
+        instances: spec.instances.len(),
+        store_codec: shared.store.map(ModelStore::codec),
+        ..RunStats::default()
+    };
+
+    let plan = plan::plan_modules(spec, &params.config, &params.extract);
+    stats.distinct_modules = plan.distinct.len();
+
+    resolve::resolve_models(
+        spec,
+        &plan.distinct,
+        &params.config,
+        &params.extract,
+        shared,
+        &mut stats,
+    )?;
+    stats.resolve_seconds = resolve_started.elapsed().as_secs_f64();
+
+    let assembly_started = Instant::now();
+    let timing = assemble::assemble_and_analyze(
+        spec,
+        &plan.keys,
+        &params.config,
+        params.mode,
+        shared.cache,
+    )?;
+    stats.assembly_seconds = assembly_started.elapsed().as_secs_f64();
+
+    let timing_yield = params
+        .yield_target_ps
+        .map(|target| yield_analysis::timing_yield(&timing.delay, target));
+
+    let distinct_keys = plan.distinct.into_iter().map(|(key, _)| key).collect();
+    Ok((
+        ScenarioRun {
+            scenario: params.name.clone(),
+            timing,
+            timing_yield,
+            stats,
+        },
+        distinct_keys,
+    ))
+}

@@ -1,0 +1,277 @@
+//! Pipeline accounting: per-run, per-scenario and per-batch statistics.
+//!
+//! Every stage of the pipeline reports into a [`RunStats`]; a batch
+//! aggregates its scenarios' stats into a [`BatchStats`]. Both implement
+//! [`std::fmt::Display`] with a compact one-line summary so examples and
+//! services can log a run without dumping fields by hand.
+
+use crate::store::Codec;
+use ssta_core::DesignTiming;
+use std::fmt;
+
+/// Accounting for one analysis run (one scenario's trip through the
+/// pipeline, or a plain [`Engine::analyze`](crate::Engine::analyze)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Instances in the analyzed design.
+    pub instances: usize,
+    /// Distinct module definitions after fingerprint deduplication.
+    pub distinct_modules: usize,
+    /// Modules characterized + extracted in this run (cache misses this
+    /// run led itself).
+    pub extractions: usize,
+    /// Misses resolved by waiting on another scenario's in-flight
+    /// resolution of the same fingerprint (single-flight dedup). Always
+    /// zero outside batch runs.
+    pub coalesced: usize,
+    /// Modules served from the in-memory session cache.
+    pub memory_hits: usize,
+    /// Modules served from the persistent model library.
+    pub store_hits: usize,
+    /// Store artifacts rejected as corrupt/mismatched and recomputed.
+    pub store_rejects: usize,
+    /// Models written to the persistent library in this run.
+    pub store_writes: usize,
+    /// Failed library writes (read-only mount, disk full, …). The cache
+    /// is best-effort: a failed write never fails the analysis.
+    pub store_write_failures: usize,
+    /// Artifact bytes written to the persistent library in this run
+    /// (envelope headers included).
+    pub store_bytes_written: u64,
+    /// Artifact bytes read from the persistent library in this run,
+    /// counting hits only (envelope headers included).
+    pub store_bytes_read: u64,
+    /// Codec used for library writes; `None` when no store is attached.
+    pub store_codec: Option<Codec>,
+    /// Wall-clock seconds resolving models (fingerprinting, cache
+    /// lookups, parallel extraction).
+    pub resolve_seconds: f64,
+    /// Wall-clock seconds assembling and analyzing the top level.
+    pub assembly_seconds: f64,
+}
+
+/// Formats a byte count with a binary-unit suffix.
+fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+impl fmt::Display for RunStats {
+    /// One compact summary line, e.g.
+    /// `4 instances / 1 distinct | extracted 1, memory 0, store 0 | wrote 1 (41.2 KiB, binary) | resolve 12.3 ms + assembly 4.5 ms`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instances / {} distinct | extracted {}, memory {}, store {}",
+            self.instances,
+            self.distinct_modules,
+            self.extractions,
+            self.memory_hits,
+            self.store_hits
+        )?;
+        if self.coalesced > 0 {
+            write!(f, ", coalesced {}", self.coalesced)?;
+        }
+        if self.store_rejects > 0 {
+            write!(f, ", rejected {}", self.store_rejects)?;
+        }
+        if let Some(codec) = self.store_codec {
+            write!(
+                f,
+                " | wrote {} ({}, {})",
+                self.store_writes,
+                human_bytes(self.store_bytes_written),
+                codec.name()
+            )?;
+            if self.store_write_failures > 0 {
+                write!(f, ", {} failed", self.store_write_failures)?;
+            }
+        }
+        write!(
+            f,
+            " | resolve {:.1} ms + assembly {:.1} ms",
+            1e3 * self.resolve_seconds,
+            1e3 * self.assembly_seconds
+        )
+    }
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The design-level timing result.
+    pub timing: DesignTiming,
+    /// What the run cost and where its models came from.
+    pub stats: RunStats,
+}
+
+/// The result of one scenario within a batch.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario's label.
+    pub scenario: String,
+    /// The design-level timing result under this scenario.
+    pub timing: DesignTiming,
+    /// Parametric yield `P{delay ≤ target}` when the scenario's overlay
+    /// requested a yield target.
+    pub timing_yield: Option<f64>,
+    /// What this scenario cost and where its models came from.
+    pub stats: RunStats,
+}
+
+/// Aggregate accounting for one [`Engine::analyze_batch`](crate::Engine::analyze_batch).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Scenarios in the batch.
+    pub scenarios: usize,
+    /// Instances in the swept design (identical for every scenario).
+    pub instances: usize,
+    /// Distinct module fingerprints across the whole batch — the union
+    /// over scenarios, after overlay-aware re-keying. This is the
+    /// ceiling on extractions the batch may perform.
+    pub distinct_fingerprints: usize,
+    /// Modules actually characterized + extracted across the batch.
+    /// Single-flight dedup guarantees `extractions ≤ distinct_fingerprints`
+    /// however many scenarios race.
+    pub extractions: usize,
+    /// Resolutions coalesced onto another scenario's in-flight work.
+    pub coalesced: usize,
+    /// Modules served from the in-memory session cache.
+    pub memory_hits: usize,
+    /// Modules served from the persistent model library.
+    pub store_hits: usize,
+    /// Store artifacts rejected as corrupt/mismatched and recomputed.
+    pub store_rejects: usize,
+    /// Models written to the persistent library.
+    pub store_writes: usize,
+    /// Failed (best-effort) library writes.
+    pub store_write_failures: usize,
+    /// Artifact bytes written to the persistent library.
+    pub store_bytes_written: u64,
+    /// Artifact bytes read from the persistent library.
+    pub store_bytes_read: u64,
+    /// Codec used for library writes; `None` when no store is attached.
+    pub store_codec: Option<Codec>,
+    /// Wall-clock seconds for the whole batch, scenario fan-out included.
+    pub elapsed_seconds: f64,
+}
+
+impl BatchStats {
+    /// Folds one scenario's stats into the batch aggregate.
+    pub(crate) fn absorb(&mut self, run: &RunStats) {
+        self.extractions += run.extractions;
+        self.coalesced += run.coalesced;
+        self.memory_hits += run.memory_hits;
+        self.store_hits += run.store_hits;
+        self.store_rejects += run.store_rejects;
+        self.store_writes += run.store_writes;
+        self.store_write_failures += run.store_write_failures;
+        self.store_bytes_written += run.store_bytes_written;
+        self.store_bytes_read += run.store_bytes_read;
+    }
+}
+
+impl fmt::Display for BatchStats {
+    /// One compact summary line, e.g.
+    /// `8 scenarios x 4 instances | 1 distinct fingerprint, extracted 1, coalesced 7 | 1.2 s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios x {} instances | {} distinct fingerprint{}, extracted {}, coalesced {}, memory {}, store {}",
+            self.scenarios,
+            self.instances,
+            self.distinct_fingerprints,
+            if self.distinct_fingerprints == 1 { "" } else { "s" },
+            self.extractions,
+            self.coalesced,
+            self.memory_hits,
+            self.store_hits
+        )?;
+        if self.store_rejects > 0 {
+            write!(f, ", rejected {}", self.store_rejects)?;
+        }
+        if let Some(codec) = self.store_codec {
+            write!(
+                f,
+                " | wrote {} ({}, {}), read {}",
+                self.store_writes,
+                human_bytes(self.store_bytes_written),
+                codec.name(),
+                human_bytes(self.store_bytes_read)
+            )?;
+            if self.store_write_failures > 0 {
+                write!(f, ", {} failed", self.store_write_failures)?;
+            }
+        }
+        write!(f, " | {:.2} s", self.elapsed_seconds)
+    }
+}
+
+/// The result of one scenario-sweep batch.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-scenario results, in scenario-set order.
+    pub scenarios: Vec<ScenarioRun>,
+    /// Batch-wide aggregate accounting.
+    pub stats: BatchStats,
+}
+
+impl BatchRun {
+    /// The first scenario run with the given label, if any.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioRun> {
+        self.scenarios.iter().find(|s| s.scenario == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_display_is_one_compact_line() {
+        let stats = RunStats {
+            instances: 4,
+            distinct_modules: 1,
+            extractions: 1,
+            store_writes: 1,
+            store_bytes_written: 42_161,
+            store_codec: Some(Codec::Binary),
+            resolve_seconds: 0.0123,
+            assembly_seconds: 0.0045,
+            ..RunStats::default()
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("4 instances / 1 distinct"));
+        assert!(line.contains("extracted 1"));
+        assert!(line.contains("41.2 KiB"));
+        assert!(line.contains("binary"));
+        // Zero-valued degradations stay out of the line.
+        assert!(!line.contains("rejected"));
+        assert!(!line.contains("coalesced"));
+    }
+
+    #[test]
+    fn batch_stats_display_reports_the_dedup_win() {
+        let stats = BatchStats {
+            scenarios: 8,
+            instances: 4,
+            distinct_fingerprints: 1,
+            extractions: 1,
+            coalesced: 7,
+            elapsed_seconds: 1.25,
+            ..BatchStats::default()
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("8 scenarios x 4 instances"));
+        assert!(line.contains("1 distinct fingerprint,"));
+        assert!(line.contains("extracted 1"));
+        assert!(line.contains("coalesced 7"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Stage 2 — resolve: turn every planned fingerprint into a model.
+//!
+//! Three tiers, cheapest first:
+//!
+//! 1. the shared in-memory session cache;
+//! 2. the persistent model library (when attached), with corrupt
+//!    artifacts rejected, counted and transparently recomputed;
+//! 3. characterization + extraction, fanned out over scoped worker
+//!    threads.
+//!
+//! Tiers 2 and 3 run inside the batch's [`SingleFlight`] table: when
+//! several scenarios miss on the same fingerprint concurrently, one
+//! *leads* (loads or extracts, then publishes to the store and session
+//! cache) and the rest *coalesce* — they block on the leader and share
+//! its model. Extraction is a deterministic pure function of the
+//! fingerprinted inputs, so neither the thread count nor who wins the
+//! leader race can change any result bit — only the wall clock.
+
+use crate::error::EngineError;
+use crate::pipeline::report::RunStats;
+use crate::pipeline::{parallel_indexed, SharedState};
+use crate::spec::DesignSpec;
+use ssta_core::{ExtractOptions, ModuleContext, SstaConfig, TimingModel};
+use std::sync::Arc;
+
+/// How one planned fingerprint was satisfied.
+enum Resolution {
+    /// Led the flight; loaded from the persistent library.
+    Store {
+        /// Artifact bytes read (envelope included).
+        bytes: u64,
+    },
+    /// Led the flight; characterized + extracted.
+    Extracted {
+        /// A corrupt store artifact was rejected first.
+        rejected: bool,
+        /// Artifact bytes written on the best-effort store publish.
+        wrote: Option<u64>,
+        /// The best-effort store publish failed.
+        write_failed: bool,
+    },
+    /// Coalesced onto another scenario's in-flight resolution.
+    Coalesced,
+}
+
+/// Resolves every distinct planned module into the shared session cache,
+/// recording tier hits into `stats`.
+pub(crate) fn resolve_models(
+    spec: &DesignSpec,
+    distinct: &[(String, usize)],
+    config: &SstaConfig,
+    extract: &ExtractOptions,
+    shared: &SharedState<'_>,
+    stats: &mut RunStats,
+) -> Result<(), EngineError> {
+    // Tier 1: the session cache, shared across scenarios and runs.
+    let mut jobs: Vec<(&String, usize)> = Vec::new();
+    for (key, idx) in distinct {
+        if shared.cache.contains(key) {
+            stats.memory_hits += 1;
+            continue;
+        }
+        jobs.push((key, *idx));
+    }
+    if jobs.is_empty() {
+        return Ok(());
+    }
+
+    // Tiers 2 + 3, single-flighted and fanned out over workers.
+    let run_job = |i: usize| -> Result<(Arc<TimingModel>, Resolution), EngineError> {
+        let (key, idx) = jobs[i];
+        let mut led_how = None;
+        let (outcome, led) = shared.flights.resolve(key, || {
+            let mut rejected = false;
+            if let Some(store) = shared.store {
+                match store.load_traced(key) {
+                    Ok(Some((model, info))) => {
+                        led_how = Some(Resolution::Store {
+                            bytes: info.bytes as u64,
+                        });
+                        return Ok(Arc::new(model));
+                    }
+                    Ok(None) => {}
+                    Err(EngineError::Store { .. }) => rejected = true,
+                    Err(e) => return Err(e),
+                }
+            }
+            let def = &spec.modules[idx];
+            let ctx = ModuleContext::characterize((*def.netlist).clone(), config)?;
+            let model = Arc::new(ctx.extract_model(extract)?);
+            let (wrote, write_failed) = match shared.store {
+                // Best-effort: the model is already in hand, so a failed
+                // cache write (read-only library, full disk) must not
+                // fail the analysis.
+                Some(store) => match store.save_traced(key, &model) {
+                    Ok(bytes) => (Some(bytes as u64), false),
+                    Err(_) => (None, true),
+                },
+                None => (None, false),
+            };
+            led_how = Some(Resolution::Extracted {
+                rejected,
+                wrote,
+                write_failed,
+            });
+            Ok(model)
+        });
+        let model = outcome?;
+        let how = if led {
+            led_how.expect("leader recorded its resolution")
+        } else {
+            Resolution::Coalesced
+        };
+        Ok((model, how))
+    };
+
+    let outcomes = parallel_indexed(jobs.len(), shared.threads.min(jobs.len()), run_job);
+
+    // Fold in deterministic job order and publish to the session cache.
+    for ((key, idx), outcome) in jobs.iter().zip(outcomes) {
+        let (model, how) = outcome?;
+        match how {
+            Resolution::Store { bytes } => {
+                stats.store_hits += 1;
+                stats.store_bytes_read += bytes;
+            }
+            Resolution::Extracted {
+                rejected,
+                wrote,
+                write_failed,
+            } => {
+                stats.extractions += 1;
+                if rejected {
+                    stats.store_rejects += 1;
+                }
+                if let Some(bytes) = wrote {
+                    stats.store_writes += 1;
+                    stats.store_bytes_written += bytes;
+                }
+                if write_failed {
+                    stats.store_write_failures += 1;
+                }
+            }
+            Resolution::Coalesced => stats.coalesced += 1,
+        }
+        let digest = spec.modules[*idx].structural_digest();
+        shared.cache.insert(digest, (*key).clone(), model);
+    }
+    Ok(())
+}

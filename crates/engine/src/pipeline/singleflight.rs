@@ -1,0 +1,161 @@
+//! Single-flight deduplication of in-flight module resolutions.
+//!
+//! When N scenarios of a batch race on the same `(module, fingerprint)`
+//! key, exactly one of them — the *leader* — performs the work (store
+//! lookup and, on a miss, characterization + extraction); the rest block
+//! until the leader finishes and share its outcome. This is the
+//! in-process analogue of the in-flight request dedup a serving
+//! front-end needs: without it, a parallel sweep would extract the same
+//! module once per scenario, precisely the waste the extracted-model
+//! reuse story exists to avoid.
+//!
+//! The table is scoped to one batch: it deduplicates *concurrency*, not
+//! storage (the session cache and the persistent library handle reuse
+//! across batches), so entries are never evicted — the table dies with
+//! the batch.
+
+use crate::error::EngineError;
+use ssta_core::TimingModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The shared outcome of one flight. Errors are `Arc`-shared because
+/// every waiter jointly owns the leader's failure.
+type FlightOutcome = Result<Arc<TimingModel>, Arc<EngineError>>;
+
+/// A per-batch single-flight table keyed by module fingerprint.
+#[derive(Debug, Default)]
+pub(crate) struct SingleFlight {
+    flights: Mutex<HashMap<String, Arc<OnceLock<FlightOutcome>>>>,
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub(crate) fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Resolves `key`, guaranteeing `work` runs at most once per key for
+    /// the lifetime of this table no matter how many callers race on it.
+    /// Concurrent callers block until the leader's `work` completes and
+    /// then share its outcome; later callers get the memoized outcome
+    /// immediately. Returns the outcome plus whether *this* caller led
+    /// the flight (ran `work`).
+    ///
+    /// The leader gets the original error back; waiters get it wrapped
+    /// in [`EngineError::Flight`], marking the failure as shared.
+    pub(crate) fn resolve(
+        &self,
+        key: &str,
+        work: impl FnOnce() -> Result<Arc<TimingModel>, EngineError>,
+    ) -> (Result<Arc<TimingModel>, EngineError>, bool) {
+        let cell = {
+            let mut flights = self.flights.lock().expect("flight table lock");
+            Arc::clone(flights.entry(key.to_owned()).or_default())
+        };
+        // The map lock is released before waiting on the cell, so a slow
+        // flight never blocks resolutions of *other* keys.
+        let mut led = false;
+        let mut original_err = None;
+        let outcome = cell
+            .get_or_init(|| {
+                led = true;
+                match work() {
+                    Ok(model) => Ok(model),
+                    Err(e) => {
+                        // Waiters share a structural copy; the leader
+                        // keeps the original (with its io::Error intact).
+                        let shared = Arc::new(e.shared_copy());
+                        original_err = Some(e);
+                        Err(shared)
+                    }
+                }
+            })
+            .clone();
+        let result = match outcome {
+            Ok(model) => Ok(model),
+            Err(shared) => Err(match original_err.take() {
+                Some(original) => original,
+                None => EngineError::Flight(shared),
+            }),
+        };
+        (result, led)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn dummy_model() -> Arc<TimingModel> {
+        use ssta_core::{ExtractOptions, ModuleContext, SstaConfig};
+        let netlist = ssta_netlist::generators::ripple_carry_adder(1).expect("netlist");
+        let ctx = ModuleContext::characterize(netlist, &SstaConfig::paper()).expect("ctx");
+        Arc::new(
+            ctx.extract_model(&ExtractOptions::default())
+                .expect("model"),
+        )
+    }
+
+    #[test]
+    fn racing_callers_run_the_work_exactly_once() {
+        let flights = SingleFlight::new();
+        let executed = AtomicUsize::new(0);
+        let led_count = AtomicUsize::new(0);
+        let model = dummy_model();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (outcome, led) = flights.resolve("k", || {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        Ok(Arc::clone(&model))
+                    });
+                    assert!(outcome.is_ok());
+                    if led {
+                        led_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(executed.load(Ordering::SeqCst), 1);
+        assert_eq!(led_count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_keys_fly_separately() {
+        let flights = SingleFlight::new();
+        let executed = AtomicUsize::new(0);
+        let model = dummy_model();
+        for key in ["a", "b", "a"] {
+            let (outcome, _) = flights.resolve(key, || {
+                executed.fetch_add(1, Ordering::SeqCst);
+                Ok(Arc::clone(&model))
+            });
+            assert!(outcome.is_ok());
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 2, "one flight per key");
+    }
+
+    #[test]
+    fn waiters_share_the_leaders_failure() {
+        let flights = SingleFlight::new();
+        let (first, led) = flights.resolve("k", || {
+            Err(EngineError::Spec {
+                reason: "boom".into(),
+            })
+        });
+        assert!(led);
+        assert!(
+            matches!(first, Err(EngineError::Spec { .. })),
+            "leader keeps the original"
+        );
+        let (second, led) = flights.resolve("k", || unreachable!("flight is memoized"));
+        assert!(!led);
+        assert!(
+            matches!(second, Err(EngineError::Flight(_))),
+            "waiters see the shared copy"
+        );
+    }
+}

@@ -9,8 +9,9 @@
 //! (cache or fresh extraction) and only then assembles the `Design`.
 
 use crate::error::EngineError;
+use ssta_core::{netlist_digest, NetlistDigest};
 use ssta_netlist::{DieRect, Netlist};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a module definition within one [`DesignSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +25,19 @@ pub struct ModuleDef {
     pub name: String,
     /// The module netlist.
     pub netlist: Arc<Netlist>,
+    /// Memoized canonical-form digest of the netlist structure. Shared
+    /// across clones (scenario sweeps fingerprint the same spec under K
+    /// configurations; the netlist is canonicalized exactly once).
+    digest: Arc<OnceLock<NetlistDigest>>,
+}
+
+impl ModuleDef {
+    /// The configuration-independent digest of this definition's
+    /// canonical structural form, computed on first use and cached for
+    /// the lifetime of the spec (and every clone of it).
+    pub fn structural_digest(&self) -> &NetlistDigest {
+        self.digest.get_or_init(|| netlist_digest(&self.netlist))
+    }
 }
 
 /// One placed instance of a module definition.
@@ -110,6 +124,7 @@ impl DesignSpecBuilder {
         self.spec.modules.push(ModuleDef {
             name,
             netlist: Arc::new(netlist),
+            digest: Arc::new(OnceLock::new()),
         });
         ModuleId(self.spec.modules.len() - 1)
     }

@@ -121,14 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut integrator = Engine::new(config).with_store(&library)?;
     let run = integrator.analyze(&spec)?;
-    println!(
-        "integrator: engine analyzed {} instances / {} distinct module(s) with {} extractions \
-         ({} served from the library)",
-        run.stats.instances,
-        run.stats.distinct_modules,
-        run.stats.extractions,
-        run.stats.store_hits
-    );
+    println!("integrator: {}", run.stats);
     println!(
         "integrator: engine delay mean {:.1} ps, sigma {:.1} ps — identical to the manual flow: {}",
         run.timing.delay.mean(),

@@ -18,9 +18,11 @@
 //! * [`mc`] — Monte Carlo ground truth;
 //! * [`engine`] — the analysis engine: a persistent content-addressed
 //!   model library over pluggable storage backends (sharded filesystem
-//!   or in-memory) with a compact binary artifact codec, a deduplicating
-//!   parallel scheduler over hierarchical design specs, and incremental
-//!   re-analysis with per-module invalidation.
+//!   or in-memory) with a compact binary artifact codec, a staged
+//!   analysis pipeline (plan → resolve → assemble → report) with
+//!   fingerprint-deduplicating parallel extraction, a scenario-sweep
+//!   batch API with single-flight dedup of concurrent extractions, and
+//!   incremental re-analysis with per-module invalidation.
 //!
 //! # Quickstart
 //!
@@ -41,8 +43,8 @@
 //! ```
 //!
 //! See the `examples/` directory for end-to-end scenarios: IP-vendor model
-//! handoff, the paper's four-multiplier hierarchical design, and yield
-//! analysis.
+//! handoff, the paper's four-multiplier hierarchical design, a
+//! four-corner scenario sweep, and yield analysis.
 
 pub use ssta_core as core;
 pub use ssta_engine as engine;
