@@ -1,11 +1,17 @@
 //! Criterion benchmark of the Fig. 7 flow at reduced scale: design-level
 //! analysis in both correlation modes versus flattened Monte Carlo — the
-//! speedup that motivates hierarchical SSTA.
+//! speedup that motivates hierarchical SSTA — plus a many-instance
+//! scaling group over c880 arrays comparing the serial and parallel
+//! assembly paths (the machine-readable variant lives in the
+//! `bench_json` bin).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ssta_bench::four_multiplier_design;
-use ssta_core::{analyze, CorrelationMode};
+use ssta_bench::{characterize, four_multiplier_design, module_array_from_model};
+use ssta_core::{
+    analyze, analyze_with, AnalyzeOptions, CorrelationMode, ExtractOptions, SstaConfig,
+};
 use ssta_mc::McOptions;
+use std::sync::Arc;
 
 fn bench_hierarchical(c: &mut Criterion) {
     let design = four_multiplier_design(6);
@@ -32,5 +38,45 @@ fn bench_hierarchical(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hierarchical);
+/// Design-level assembly cost versus instance count: 4 → 64 instances of
+/// one c880 model on a single die. Partition/covariance/eigen/replace
+/// dominate here, which is exactly what the parallel assembly targets.
+fn bench_assembly_scaling(c: &mut Criterion) {
+    let ctx = characterize("c880");
+    let model = Arc::new(
+        ctx.extract_model(&ExtractOptions::default())
+            .expect("extraction"),
+    );
+    let mut group = c.benchmark_group("assembly-scaling");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let design = module_array_from_model("c880", Arc::clone(&model), n, SstaConfig::paper());
+        if n < 64 {
+            // The serial baseline gets too slow to sample at 64.
+            group.bench_function(format!("c880x{n}/serial"), |b| {
+                b.iter(|| {
+                    analyze_with(
+                        &design,
+                        CorrelationMode::Proposed,
+                        &AnalyzeOptions { threads: 1 },
+                    )
+                    .expect("analysis")
+                })
+            });
+        }
+        group.bench_function(format!("c880x{n}/parallel"), |b| {
+            b.iter(|| {
+                analyze_with(
+                    &design,
+                    CorrelationMode::Proposed,
+                    &AnalyzeOptions::default(),
+                )
+                .expect("analysis")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchical, bench_assembly_scaling);
 criterion_main!(benches);

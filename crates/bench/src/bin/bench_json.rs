@@ -1,0 +1,278 @@
+//! Machine-readable assembly-performance benchmark.
+//!
+//! Emits `BENCH_assembly.json` (override the path with `SSTA_BENCH_OUT`)
+//! with two sections:
+//!
+//! * **eigen** — the QL-vs-Jacobi eigensolver duel on a spatial
+//!   covariance matrix (200×200 by default). In full mode the run
+//!   *asserts* the ≥5× speedup the fast solver exists for, after
+//!   cross-checking both spectra against each other and both
+//!   reconstructions against the input.
+//! * **assembly** — design-level analysis scaling over many-instance
+//!   arrays (4/16/64 instances of c880 by default): serial vs parallel
+//!   wall-clock, cold vs warm, and the per-phase breakdown of the warm
+//!   parallel run. Serial and parallel results are asserted
+//!   bit-identical.
+//!
+//! `--tiny` (or `SSTA_BENCH_PROFILE=tiny`) shrinks every size so CI can
+//! exercise the whole path in seconds; the speedup assertion is relaxed
+//! to a sanity floor there, because tiny matrices measure mostly
+//! overhead.
+//!
+//! Run with `cargo run -p ssta-bench --release --bin bench_json`.
+
+use serde::Serialize;
+use ssta_bench::{characterize, module_array_from_model};
+use ssta_core::{
+    analyze_with, AnalyzeOptions, CorrelationMode, CorrelationModel, DesignTiming, ExtractOptions,
+    PhaseTimings, SstaConfig,
+};
+use ssta_math::eigen::{symmetric_eigen, symmetric_eigen_jacobi};
+use ssta_math::tridiag::symmetric_eigen_ql;
+use ssta_math::Matrix;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The emitted `BENCH_assembly.json` document.
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    profile: String,
+    eigen: EigenDuel,
+    assembly: Vec<ScalingPoint>,
+}
+
+#[derive(Serialize)]
+struct EigenDuel {
+    n: usize,
+    jacobi_seconds: f64,
+    ql_seconds: f64,
+    speedup: f64,
+    max_relative_eigenvalue_diff: f64,
+    max_reconstruction_error: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingPoint {
+    instances: usize,
+    n_grids: usize,
+    n_local_components: usize,
+    serial_seconds: f64,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    parallel_speedup: f64,
+    phases: PhaseTimings,
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny")
+        || std::env::var("SSTA_BENCH_PROFILE").is_ok_and(|v| v == "tiny");
+    let (eigen_n, instance_counts, reps): (usize, &[usize], usize) = if tiny {
+        (64, &[2, 4], 1)
+    } else {
+        (200, &[4, 16, 64], 3)
+    };
+
+    let duel = eigen_duel(eigen_n, reps);
+    println!(
+        "eigen {0}x{0}: jacobi {1:.1} ms, ql {2:.1} ms -> {3:.1}x (max rel dλ {4:.1e})",
+        duel.n,
+        1e3 * duel.jacobi_seconds,
+        1e3 * duel.ql_seconds,
+        duel.speedup,
+        duel.max_relative_eigenvalue_diff,
+    );
+    assert!(
+        duel.max_relative_eigenvalue_diff < 1e-6,
+        "QL spectrum diverged from the Jacobi oracle: {:.3e}",
+        duel.max_relative_eigenvalue_diff
+    );
+    assert!(
+        duel.max_reconstruction_error < 1e-9,
+        "eigendecomposition failed to reconstruct the covariance: {:.3e}",
+        duel.max_reconstruction_error
+    );
+    let speedup_floor = if tiny { 1.0 } else { 5.0 };
+    assert!(
+        duel.speedup >= speedup_floor,
+        "QL speedup {:.2}x below the {speedup_floor}x floor on {1}x{1}",
+        duel.speedup,
+        duel.n
+    );
+
+    println!("characterizing c880 once (model shared across all array sizes)...");
+    let ctx = characterize("c880");
+    let model = Arc::new(
+        ctx.extract_model(&ExtractOptions::default())
+            .expect("extraction"),
+    );
+
+    let mut points = Vec::new();
+    for &n in instance_counts {
+        let design = module_array_from_model("c880", Arc::clone(&model), n, SstaConfig::paper());
+        let point = scaling_point(&design, n, reps);
+        println!(
+            "c880 x{n}: {} grids, serial {:.1} ms, parallel cold {:.1} ms / warm {:.1} ms ({:.2}x) | {}",
+            point.n_grids,
+            1e3 * point.serial_seconds,
+            1e3 * point.cold_seconds,
+            1e3 * point.warm_seconds,
+            point.parallel_speedup,
+            point.phases,
+        );
+        points.push(point);
+    }
+
+    // The tiny profile defaults to its own path so a local smoke run
+    // never clobbers the committed full-profile baseline.
+    let default_out = if tiny {
+        "BENCH_assembly.tiny.json"
+    } else {
+        "BENCH_assembly.json"
+    };
+    let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
+    let report = Report {
+        schema: 1,
+        profile: if tiny { "tiny" } else { "full" }.into(),
+        eigen: duel,
+        assembly: points,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}
+
+/// Times both eigensolvers on the paper's spatial correlation over an
+/// `n`-grid die and cross-checks their results.
+fn eigen_duel(n: usize, reps: usize) -> EigenDuel {
+    // A wide-die grid layout with ~n grids, so the matrix has the same
+    // banded-with-cutoff structure the design-level assembly produces.
+    let cols = (n as f64).sqrt().ceil() as usize * 2;
+    let centers: Vec<(f64, f64)> = (0..n)
+        .map(|k| {
+            let (r, c) = (k / cols, k % cols);
+            ((c as f64 + 0.5) * 20.0, (r as f64 + 0.5) * 20.0)
+        })
+        .collect();
+    let cov = CorrelationModel::paper().covariance_matrix(&centers, 20.0);
+
+    let mut ql_seconds = f64::INFINITY;
+    let mut ql = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let e = symmetric_eigen_ql(&cov).expect("QL eigensolve");
+        ql_seconds = ql_seconds.min(t.elapsed().as_secs_f64());
+        ql = Some(e);
+    }
+    let ql = ql.expect("at least one rep");
+
+    let mut jacobi_seconds = f64::INFINITY;
+    let mut jacobi = None;
+    for _ in 0..reps.min(2) {
+        let t = Instant::now();
+        let e = symmetric_eigen_jacobi(&cov).expect("Jacobi eigensolve");
+        jacobi_seconds = jacobi_seconds.min(t.elapsed().as_secs_f64());
+        jacobi = Some(e);
+    }
+    let jacobi = jacobi.expect("at least one rep");
+
+    let max_relative_eigenvalue_diff = ql
+        .eigenvalues
+        .iter()
+        .zip(&jacobi.eigenvalues)
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1.0))
+        .fold(0.0, f64::max);
+    let max_reconstruction_error =
+        reconstruction_error(&ql, &cov).max(reconstruction_error(&jacobi, &cov));
+
+    // The default entry point must be the fast path.
+    let via_default = symmetric_eigen(&cov).expect("default eigensolve");
+    assert_eq!(
+        via_default.eigenvalues, ql.eigenvalues,
+        "symmetric_eigen no longer dispatches to the QL solver"
+    );
+
+    EigenDuel {
+        n,
+        jacobi_seconds,
+        ql_seconds,
+        speedup: jacobi_seconds / ql_seconds,
+        max_relative_eigenvalue_diff,
+        max_reconstruction_error,
+    }
+}
+
+fn reconstruction_error(e: &ssta_math::eigen::SymmetricEigen, a: &Matrix) -> f64 {
+    let n = e.eigenvalues.len();
+    let mut lam = Matrix::zeros(n, n);
+    for i in 0..n {
+        lam[(i, i)] = e.eigenvalues[i];
+    }
+    e.eigenvectors
+        .matmul(&lam)
+        .expect("shape")
+        .matmul(&e.eigenvectors.transposed())
+        .expect("shape")
+        .max_abs_diff(a)
+        .expect("shape")
+}
+
+/// Measures one instance count: a cold parallel run first (first-touch
+/// page faults and all), then `reps` warmed serial and parallel runs
+/// (min-of-reps each), asserting parallel ≡ serial bit-identically.
+/// `parallel_speedup` compares the two *warm* paths, so it reads ~1.0 on
+/// a single-core machine and scales with cores elsewhere.
+fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> ScalingPoint {
+    let serial_opts = AnalyzeOptions { threads: 1 };
+    let parallel_opts = AnalyzeOptions::default();
+
+    let t = Instant::now();
+    let cold = analyze_with(design, CorrelationMode::Proposed, &parallel_opts).expect("parallel");
+    let cold_seconds = t.elapsed().as_secs_f64();
+
+    let mut serial_seconds = f64::INFINITY;
+    let mut serial = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = analyze_with(design, CorrelationMode::Proposed, &serial_opts).expect("serial");
+        serial_seconds = serial_seconds.min(t.elapsed().as_secs_f64());
+        serial = Some(r);
+    }
+    let serial = serial.expect("at least one rep");
+    assert_bit_identical(&serial, &cold);
+
+    let mut warm_seconds = f64::INFINITY;
+    let mut warm = cold;
+    for _ in 0..reps {
+        let t = Instant::now();
+        warm = analyze_with(design, CorrelationMode::Proposed, &parallel_opts).expect("parallel");
+        warm_seconds = warm_seconds.min(t.elapsed().as_secs_f64());
+    }
+    assert_bit_identical(&serial, &warm);
+
+    // The partition alone is enough for the grid count — rebuilding the
+    // full variable space would redo the covariance + eigensolve.
+    let partition = ssta_core::hier::DesignPartition::build(
+        design.die(),
+        &design.translated_geometries(),
+        design.config().grid_pitch_um(),
+    );
+    ScalingPoint {
+        instances,
+        n_grids: partition.n_grids(),
+        n_local_components: warm.n_local_components,
+        serial_seconds,
+        cold_seconds,
+        warm_seconds,
+        parallel_speedup: serial_seconds / warm_seconds,
+        phases: warm.phases,
+    }
+}
+
+fn assert_bit_identical(a: &DesignTiming, b: &DesignTiming) {
+    assert_eq!(
+        a.po_arrivals, b.po_arrivals,
+        "parallel assembly diverged from serial"
+    );
+    assert_eq!(a.delay, b.delay, "parallel design delay diverged");
+}

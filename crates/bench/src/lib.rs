@@ -142,6 +142,74 @@ pub const PAPER_TABLE1: [(&str, usize, usize, usize, usize, f64, f64); 10] = [
     ("c7552", 6144, 3719, 1073, 546, 0.0121, 0.0158),
 ];
 
+/// `n` instances of one pre-characterized ISCAS-85 module tiled on a
+/// single die (near-square array), with each instance's first
+/// `min(outputs, inputs)` ports chained to the next instance — the
+/// many-instance workload that stresses design-level assembly
+/// (partition / covariance / PCA eigensolve / variable replacement),
+/// whose cost grows with the design grid count rather than with module
+/// internals.
+pub fn module_array_design(name: &str, n: usize) -> Design {
+    let ctx = characterize(name);
+    let model = Arc::new(
+        ctx.extract_model(&ExtractOptions::default())
+            .expect("extraction"),
+    );
+    module_array_from_model(name, model, n, SstaConfig::paper())
+}
+
+/// As [`module_array_design`] but reusing a pre-extracted model, so
+/// sweeps over `n` pay the characterization exactly once.
+pub fn module_array_from_model(
+    name: &str,
+    model: Arc<TimingModel>,
+    n: usize,
+    config: SstaConfig,
+) -> Design {
+    assert!(n >= 1, "need at least one instance");
+    let (mw, mh) = model.geometry().extent_um();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let die = DieRect {
+        width: cols as f64 * mw,
+        height: rows as f64 * mh,
+    };
+    let mut b = DesignBuilder::new(format!("{name}-array-{n}"), die, config);
+    let ids: Vec<usize> = (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            b.add_instance(
+                format!("u{i}"),
+                Arc::clone(&model),
+                None,
+                (c as f64 * mw, r as f64 * mh),
+            )
+            .expect("instance fits tiled die")
+        })
+        .collect();
+    let chained = model.n_outputs().min(model.n_inputs());
+    for w in ids.windows(2) {
+        for k in 0..chained {
+            b.connect(w[0], k, w[1], k, 0.0).expect("chain wire");
+        }
+    }
+    // Unchained inputs become design PIs; the first instance exposes all
+    // of its inputs.
+    for k in 0..model.n_inputs() {
+        b.expose_input(vec![(ids[0], k)]).expect("pi");
+    }
+    for &id in &ids[1..] {
+        for k in chained..model.n_inputs() {
+            b.expose_input(vec![(id, k)]).expect("pi");
+        }
+    }
+    for k in 0..model.n_outputs() {
+        b.expose_output(*ids.last().expect("nonempty"), k)
+            .expect("po");
+    }
+    b.finish().expect("array design")
+}
+
 /// Builds the Fig. 7 experimental design: four `width×width` multipliers
 /// in two columns, first-column outputs cross-connected to second-column
 /// inputs, all modules abutted so the spatial correlation is maximal.

@@ -106,7 +106,11 @@ pub fn module_fingerprint_from_digest(
     options: &ExtractOptions,
 ) -> ModuleFingerprint {
     let mut payload = String::new();
-    payload.push_str("hier-ssta module fingerprint v2\n");
+    // v3: the PCA eigensolver switched from cyclic Jacobi to Householder
+    // + implicit-shift QL, which changes extracted-model numerics within
+    // working precision — old store artifacts must re-key (miss once and
+    // repopulate) so warm and cold runs stay bit-identical.
+    payload.push_str("hier-ssta module fingerprint v3\n");
     payload.push_str(&structure.to_hex());
     payload.push('\n');
     payload.push_str(&serde_json::to_string(config).expect("config serializes"));

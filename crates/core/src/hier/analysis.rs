@@ -12,9 +12,12 @@
 use crate::canonical::CanonicalForm;
 use crate::hier::design::Design;
 use crate::hier::replace::{DesignVariables, InstanceReplacement};
+use crate::parallel::{effective_threads, try_parallel_indexed};
 use crate::params::VariableLayout;
 use crate::CoreError;
+use serde::{Deserialize, Serialize};
 use ssta_timing::{propagate, TimingGraph, VertexId};
+use std::fmt;
 use std::time::Instant;
 
 /// How inter-module local correlation is handled.
@@ -25,6 +28,77 @@ pub enum CorrelationMode {
     /// Private local variables per instance; only global variation is
     /// shared between modules.
     GlobalOnly,
+}
+
+/// Tuning knobs for [`analyze_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Worker threads for the parallel assembly phases (design covariance
+    /// rows, per-instance replacement build and coefficient rewriting);
+    /// `0` uses the available parallelism, `1` forces the serial path.
+    /// Every thread count produces bit-identical results.
+    pub threads: usize,
+}
+
+impl Default for AnalyzeOptions {
+    /// Uses the available parallelism.
+    fn default() -> Self {
+        AnalyzeOptions { threads: 0 }
+    }
+}
+
+/// Wall-clock seconds spent in each phase of one design-level analysis
+/// (Fig. 5 steps plus the final propagation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Step 1 — heterogeneous partition of the top die.
+    pub partition_seconds: f64,
+    /// Step 2a — design-level grid covariance matrix.
+    pub covariance_seconds: f64,
+    /// Step 2b — its eigendecomposition (PCA).
+    pub eigen_seconds: f64,
+    /// Step 3 — building the per-instance replacement matrices and
+    /// rewriting every edge delay into the design variable space.
+    pub replace_seconds: f64,
+    /// Step 4 — arrival-time propagation over the assembled graph.
+    pub propagate_seconds: f64,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.partition_seconds
+            + self.covariance_seconds
+            + self.eigen_seconds
+            + self.replace_seconds
+            + self.propagate_seconds
+    }
+
+    /// Adds another analysis' phase times onto this one (batch
+    /// aggregation).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.partition_seconds += other.partition_seconds;
+        self.covariance_seconds += other.covariance_seconds;
+        self.eigen_seconds += other.eigen_seconds;
+        self.replace_seconds += other.replace_seconds;
+        self.propagate_seconds += other.propagate_seconds;
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    /// Compact one-line breakdown in milliseconds, e.g.
+    /// `partition 0.2 + covariance 1.4 + eigen 5.0 + replace 2.1 + propagate 0.7 ms`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "partition {:.1} + covariance {:.1} + eigen {:.1} + replace {:.1} + propagate {:.1} ms",
+            1e3 * self.partition_seconds,
+            1e3 * self.covariance_seconds,
+            1e3 * self.eigen_seconds,
+            1e3 * self.replace_seconds,
+            1e3 * self.propagate_seconds,
+        )
+    }
 }
 
 /// The result of one design-level analysis.
@@ -41,20 +115,69 @@ pub struct DesignTiming {
     /// Wall-clock analysis time in seconds (includes partition + PCA +
     /// replacement + propagation).
     pub elapsed_seconds: f64,
+    /// Per-phase wall-clock breakdown of
+    /// [`elapsed_seconds`](Self::elapsed_seconds).
+    pub phases: PhaseTimings,
 }
 
-/// Analyzes a hierarchical design (steps 1–4 of Fig. 5).
+/// Analyzes a hierarchical design (steps 1–4 of Fig. 5) with default
+/// options (all available threads; bit-identical to the serial path).
 ///
 /// # Errors
 ///
 /// Propagates partition/PCA/graph errors; returns
 /// [`CoreError::Timing`]`(NoPath)` if no design output is reachable.
 pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, CoreError> {
+    analyze_with(design, mode, &AnalyzeOptions::default())
+}
+
+/// Analyzes a hierarchical design with explicit options.
+///
+/// The assembly phases fan out across `options.threads` workers: the
+/// design covariance is filled by row blocks, and each instance's
+/// replacement matrices + edge-delay rewrites are built independently.
+/// Results are bit-identical for every thread count — each unit of work
+/// is self-contained and joined in deterministic index order.
+///
+/// # Errors
+///
+/// Propagates partition/PCA/graph errors; returns
+/// [`CoreError::Timing`]`(NoPath)` if no design output is reachable.
+pub fn analyze_with(
+    design: &Design,
+    mode: CorrelationMode,
+    options: &AnalyzeOptions,
+) -> Result<DesignTiming, CoreError> {
     let started = Instant::now();
-    let (design_layout, transforms) = build_variable_space(design, mode)?;
+    let threads = effective_threads(options.threads);
+    let (design_layout, transforms, mut phases) = build_variable_space(design, mode, threads)?;
     let n_globals = design.config().parameters.len();
     let n_locals = design_layout.n_locals();
     let zero = || CanonicalForm::constant(0.0, n_globals, n_locals);
+
+    // Step 3 (hot half): rewrite every instance's edge delays into the
+    // design variable space, one instance per work unit. Delays come back
+    // in `edges_iter` order per instance, so the serial graph assembly
+    // below consumes them deterministically. With one thread the rewrite
+    // streams instance by instance inside the assembly loop instead
+    // (same result, no all-instances delay buffer held at once).
+    let instances = design.instances();
+    let rewrite_instance = |idx: usize| -> Result<Vec<CanonicalForm>, CoreError> {
+        let inst = &instances[idx];
+        inst.model
+            .graph()
+            .edges_iter()
+            .map(|(_, e)| transforms[idx].apply(&e.delay, inst.model.layout(), &design_layout))
+            .collect()
+    };
+    let mut mapped_delays: Option<std::vec::IntoIter<Vec<CanonicalForm>>> = if threads > 1 {
+        let replace_started = Instant::now();
+        let all = try_parallel_indexed(instances.len(), threads, rewrite_instance)?;
+        phases.replace_seconds += replace_started.elapsed().as_secs_f64();
+        Some(all.into_iter())
+    } else {
+        None
+    };
 
     // Build the design-level timing graph.
     let mut graph: TimingGraph<CanonicalForm> = TimingGraph::new();
@@ -72,10 +195,18 @@ pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, C
         for v in mg.vertices() {
             map[v.0 as usize] = Some(graph.add_vertex());
         }
-        for (_, e) in mg.edges_iter() {
+        let delays = match mapped_delays.as_mut() {
+            Some(iter) => iter.next().expect("one delay block per instance"),
+            None => {
+                let replace_started = Instant::now();
+                let block = rewrite_instance(idx)?;
+                phases.replace_seconds += replace_started.elapsed().as_secs_f64();
+                block
+            }
+        };
+        for ((_, e), delay) in mg.edges_iter().zip(delays) {
             let from = map[e.from.0 as usize].expect("live endpoint");
             let to = map[e.to.0 as usize].expect("live endpoint");
-            let delay = transforms[idx].apply(&e.delay, inst.model.layout(), &design_layout)?;
             graph.add_edge(from, to, delay);
         }
         in_ports.push(
@@ -116,6 +247,7 @@ pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, C
     }
 
     // Step 4: propagate arrival times.
+    let propagate_started = Instant::now();
     let sources: Vec<(VertexId, CanonicalForm)> =
         graph.inputs().iter().map(|&v| (v, zero())).collect();
     let arrivals = propagate::forward(&graph, &sources)?;
@@ -132,6 +264,7 @@ pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, C
         .iter()
         .skip(1)
         .fold(po_arrivals[0].clone(), |acc, a| acc.maximum(a));
+    phases.propagate_seconds = propagate_started.elapsed().as_secs_f64();
 
     Ok(DesignTiming {
         mode,
@@ -139,6 +272,7 @@ pub fn analyze(design: &Design, mode: CorrelationMode) -> Result<DesignTiming, C
         delay,
         n_local_components: n_locals,
         elapsed_seconds: started.elapsed().as_secs_f64(),
+        phases,
     })
 }
 
@@ -178,20 +312,22 @@ impl LocalTransform {
 fn build_variable_space(
     design: &Design,
     mode: CorrelationMode,
-) -> Result<(VariableLayout, Vec<LocalTransform>), CoreError> {
+    threads: usize,
+) -> Result<(VariableLayout, Vec<LocalTransform>, PhaseTimings), CoreError> {
     let n_params = design.config().parameters.len();
     match mode {
         CorrelationMode::Proposed => {
-            let vars = DesignVariables::build(design)?;
-            let mut transforms = Vec::with_capacity(design.instances().len());
-            for (idx, inst) in design.instances().iter().enumerate() {
-                transforms.push(LocalTransform::Replace(InstanceReplacement::build(
-                    &inst.model,
-                    &vars,
-                    idx,
-                )?));
-            }
-            Ok((vars.layout().clone(), transforms))
+            let (vars, mut phases) = DesignVariables::build_profiled(design, threads)?;
+            // Step 3 (cold half): one replacement matrix set per
+            // instance, each independent of the others.
+            let replace_started = Instant::now();
+            let instances = design.instances();
+            let transforms = try_parallel_indexed(instances.len(), threads, |idx| {
+                InstanceReplacement::build(&instances[idx].model, &vars, idx)
+                    .map(LocalTransform::Replace)
+            })?;
+            phases.replace_seconds += replace_started.elapsed().as_secs_f64();
+            Ok((vars.layout().clone(), transforms, phases))
         }
         CorrelationMode::GlobalOnly => {
             // Concatenate every instance's local blocks per parameter.
@@ -205,7 +341,11 @@ fn build_variable_space(
                 }
                 transforms.push(LocalTransform::Offset { per_param });
             }
-            Ok((VariableLayout::new(&counts), transforms))
+            Ok((
+                VariableLayout::new(&counts),
+                transforms,
+                PhaseTimings::default(),
+            ))
         }
     }
 }
@@ -301,6 +441,54 @@ mod tests {
             near.delay.std_dev(),
             far.delay.std_dev()
         );
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical_to_serial() {
+        let d = chain_design(0.0);
+        for mode in [CorrelationMode::Proposed, CorrelationMode::GlobalOnly] {
+            let serial = analyze_with(&d, mode, &AnalyzeOptions { threads: 1 }).unwrap();
+            for threads in [0, 2, 5] {
+                let par = analyze_with(&d, mode, &AnalyzeOptions { threads }).unwrap();
+                assert_eq!(par.po_arrivals, serial.po_arrivals, "{mode:?}/{threads}");
+                assert_eq!(par.delay, serial.delay, "{mode:?}/{threads}");
+                assert_eq!(par.n_local_components, serial.n_local_components);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_timings_populate_and_stay_within_elapsed() {
+        let d = chain_design(0.0);
+        let t = analyze(&d, CorrelationMode::Proposed).unwrap();
+        assert!(t.phases.eigen_seconds > 0.0);
+        assert!(t.phases.replace_seconds > 0.0);
+        assert!(t.phases.propagate_seconds > 0.0);
+        assert!(t.phases.total_seconds() <= t.elapsed_seconds + 1e-9);
+        let line = t.phases.to_string();
+        assert!(!line.contains('\n'));
+        for phase in ["partition", "covariance", "eigen", "replace", "propagate"] {
+            assert!(line.contains(phase), "missing {phase} in {line}");
+        }
+        // Global-only skips partition/covariance/eigen entirely.
+        let g = analyze(&d, CorrelationMode::GlobalOnly).unwrap();
+        assert_eq!(g.phases.partition_seconds, 0.0);
+        assert_eq!(g.phases.eigen_seconds, 0.0);
+        assert!(g.phases.propagate_seconds > 0.0);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let mut a = PhaseTimings {
+            partition_seconds: 1.0,
+            covariance_seconds: 2.0,
+            eigen_seconds: 3.0,
+            replace_seconds: 4.0,
+            propagate_seconds: 5.0,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.total_seconds(), 30.0);
+        assert_eq!(a.eigen_seconds, 6.0);
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod design;
 pub mod partition;
 pub mod replace;
 
-pub use analysis::{analyze, CorrelationMode, DesignTiming};
+pub use analysis::{
+    analyze, analyze_with, AnalyzeOptions, CorrelationMode, DesignTiming, PhaseTimings,
+};
 pub use design::{Connection, Design, DesignBuilder, Instance};
 pub use partition::DesignPartition;
 pub use replace::{DesignVariables, InstanceReplacement};

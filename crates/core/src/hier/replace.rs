@@ -16,12 +16,14 @@
 
 use crate::canonical::CanonicalForm;
 use crate::extract::TimingModel;
+use crate::hier::analysis::PhaseTimings;
 use crate::hier::design::Design;
 use crate::hier::partition::DesignPartition;
 use crate::params::VariableLayout;
 use crate::CoreError;
 use ssta_math::{Matrix, PcaBasis};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The design-level independent-variable space: heterogeneous partition,
 /// per-parameter PCA bases over all design grids, and the resulting
@@ -41,13 +43,41 @@ impl DesignVariables {
     ///
     /// Propagates PCA failures ([`CoreError::Math`]).
     pub fn build(design: &Design) -> Result<Self, CoreError> {
+        Ok(Self::build_profiled(design, 1)?.0)
+    }
+
+    /// As [`build`](Self::build), computing the design covariance across
+    /// up to `threads` worker threads (`0` = available parallelism) and
+    /// reporting how long each phase (partition / covariance / eigen)
+    /// took. Results are bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA failures ([`CoreError::Math`]).
+    pub fn build_profiled(
+        design: &Design,
+        threads: usize,
+    ) -> Result<(Self, PhaseTimings), CoreError> {
+        let mut phases = PhaseTimings::default();
         let geometries: Vec<_> = design.translated_geometries();
         let config = design.config();
+
+        let started = Instant::now();
         let partition = DesignPartition::build(design.die(), &geometries, config.grid_pitch_um());
-        let cov = config
-            .correlation
-            .covariance_matrix(partition.centers(), config.grid_pitch_um());
+        phases.partition_seconds = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let cov = config.correlation.covariance_matrix_threaded(
+            partition.centers(),
+            config.grid_pitch_um(),
+            threads,
+        );
+        phases.covariance_seconds = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
         let basis = Arc::new(PcaBasis::from_covariance(&cov, config.pca)?);
+        phases.eigen_seconds = started.elapsed().as_secs_f64();
+
         let pca: Vec<Arc<PcaBasis>> = config
             .parameters
             .iter()
@@ -55,11 +85,14 @@ impl DesignVariables {
             .collect();
         let layout =
             VariableLayout::new(&pca.iter().map(|b| b.n_components()).collect::<Vec<usize>>());
-        Ok(DesignVariables {
-            partition,
-            pca,
-            layout,
-        })
+        Ok((
+            DesignVariables {
+                partition,
+                pca,
+                layout,
+            },
+            phases,
+        ))
     }
 
     /// The heterogeneous grid partition.

@@ -55,6 +55,7 @@ pub mod criticality;
 pub mod extract;
 pub mod fingerprint;
 pub mod hier;
+pub mod parallel;
 pub mod scenario;
 pub mod spatial;
 pub mod yield_analysis;
@@ -67,7 +68,10 @@ pub use fingerprint::{
     module_fingerprint, module_fingerprint_from_digest, netlist_digest, ModuleFingerprint,
     NetlistDigest,
 };
-pub use hier::{analyze, CorrelationMode, Design, DesignBuilder, DesignTiming};
+pub use hier::{
+    analyze, analyze_with, AnalyzeOptions, CorrelationMode, Design, DesignBuilder, DesignTiming,
+    PhaseTimings,
+};
 pub use module::ModuleContext;
 pub use params::{ParameterSpec, SstaConfig, VariableLayout};
 pub use scenario::ScenarioOverlay;

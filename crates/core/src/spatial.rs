@@ -209,22 +209,63 @@ impl CorrelationModel {
     /// the given grid centers; distances are measured in units of
     /// `pitch_um`.
     ///
+    /// The matrix is symmetric by construction, so only the upper
+    /// triangle is evaluated (one `exp` per unordered pair) and the lower
+    /// triangle is mirrored.
+    ///
     /// # Panics
     ///
     /// Panics if `centers` is empty or the pitch is not positive.
     pub fn covariance_matrix(&self, centers: &[(f64, f64)], pitch_um: f64) -> Matrix {
+        self.covariance_matrix_threaded(centers, pitch_um, 1)
+    }
+
+    /// [`covariance_matrix`](Self::covariance_matrix) with the
+    /// upper-triangle rows computed across up to `threads` scoped worker
+    /// threads (`0` = available parallelism, `1` = serial). Every entry
+    /// is computed independently, so the result is bit-identical for any
+    /// thread count; design-level matrices grow quadratically with
+    /// instance count, which makes this the assembly's first parallel
+    /// phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty or the pitch is not positive.
+    pub fn covariance_matrix_threaded(
+        &self,
+        centers: &[(f64, f64)],
+        pitch_um: f64,
+        threads: usize,
+    ) -> Matrix {
         assert!(!centers.is_empty(), "need at least one grid");
         assert!(pitch_um > 0.0, "pitch must be positive");
-        Matrix::from_fn(centers.len(), centers.len(), |i, j| {
-            if i == j {
-                1.0
-            } else {
-                let dx = centers[i].0 - centers[j].0;
-                let dy = centers[i].1 - centers[j].1;
+        let n = centers.len();
+        let workers = crate::parallel::effective_threads(threads);
+        // Upper-triangle rows (entry j ≥ i), shortest rows last so the
+        // atomic-cursor scheduler balances the triangular workload.
+        let rows: Vec<Vec<f64>> = crate::parallel::parallel_indexed(n, workers, |i| {
+            let (xi, yi) = centers[i];
+            let mut row = Vec::with_capacity(n - i);
+            row.push(1.0);
+            for &(xj, yj) in &centers[i + 1..] {
+                let dx = xi - xj;
+                let dy = yi - yj;
                 let d = (dx * dx + dy * dy).sqrt() / pitch_um;
-                self.local_correlation(d)
+                row.push(self.local_correlation(d));
             }
-        })
+            row
+        });
+        let mut m = Matrix::zeros(n, n);
+        for (i, row) in rows.iter().enumerate() {
+            m.row_mut(i)[i..].copy_from_slice(row);
+        }
+        // Mirror the lower triangle, writing row-major.
+        for j in 1..n {
+            for i in 0..j {
+                m[(j, i)] = m[(i, j)];
+            }
+        }
+        m
     }
 }
 
@@ -324,6 +365,17 @@ mod tests {
             .matmul(&pca.transform().transposed())
             .unwrap();
         assert!(back.max_abs_diff(&c).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn threaded_covariance_is_bit_identical_to_serial() {
+        let g = GridGeometry::from_die(die(260.0, 180.0), 20.0);
+        let m = CorrelationModel::paper();
+        let serial = m.covariance_matrix(&g.centers(), g.pitch());
+        for threads in [0, 2, 7] {
+            let par = m.covariance_matrix_threaded(&g.centers(), g.pitch(), threads);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 
     #[test]

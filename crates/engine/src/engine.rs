@@ -224,8 +224,11 @@ impl Engine {
         let digest = def.structural_digest();
         let base_key =
             module_fingerprint_from_digest(digest, &self.config, &self.options.extract).to_hex();
-        let mut keys = self.memory.take_digest_keys(digest);
-        let in_memory = !keys.is_empty();
+        // Remove the fallible tier first: if a store removal errors out,
+        // the memory index is still intact and a retry sees every key
+        // again. Dropping memory first would leave overlay-keyed store
+        // artifacts permanently un-invalidatable after a transient error.
+        let mut keys = self.memory.digest_keys(digest);
         if !keys.contains(&base_key) {
             keys.push(base_key);
         }
@@ -235,6 +238,7 @@ impl Engine {
                 in_store |= store.remove(key)?;
             }
         }
+        let in_memory = !self.memory.take_digest_keys(digest).is_empty();
         Ok(in_memory || in_store)
     }
 

@@ -5,7 +5,9 @@
 use crate::error::EngineError;
 use crate::pipeline::SessionCache;
 use crate::spec::DesignSpec;
-use ssta_core::{analyze, CorrelationMode, Design, DesignBuilder, DesignTiming, SstaConfig};
+use ssta_core::{
+    analyze_with, AnalyzeOptions, CorrelationMode, Design, DesignBuilder, DesignTiming, SstaConfig,
+};
 
 /// Builds the [`Design`] from the session cache (every planned key is
 /// resolved by the time this stage runs).
@@ -36,13 +38,17 @@ pub(crate) fn assemble(
 }
 
 /// Assembles and analyzes in one step — the tail of every scenario run.
+/// `threads` is this scenario's share of the batch thread budget, passed
+/// through to the parallel assembly phases so a scenario fan-out never
+/// oversubscribes to workers² OS threads.
 pub(crate) fn assemble_and_analyze(
     spec: &DesignSpec,
     keys: &[Option<String>],
     config: &SstaConfig,
     mode: CorrelationMode,
     cache: &SessionCache,
+    threads: usize,
 ) -> Result<DesignTiming, EngineError> {
     let design = assemble(spec, keys, config, cache)?;
-    Ok(analyze(&design, mode)?)
+    Ok(analyze_with(&design, mode, &AnalyzeOptions { threads })?)
 }

@@ -37,9 +37,13 @@ use ssta_core::{
     yield_analysis, CorrelationMode, ExtractOptions, NetlistDigest, SstaConfig, TimingModel,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+// The deterministic fork-join helpers moved into `ssta_core::parallel`
+// so the design-level assembly shares them; the pipeline keeps its old
+// names via re-export.
+pub(crate) use ssta_core::parallel::{effective_threads, parallel_indexed};
 
 /// The engine's in-memory model cache, shared across scenarios, runs and
 /// worker threads.
@@ -92,6 +96,20 @@ impl SessionCache {
         }
     }
 
+    /// Every cached key derived from `digest` (base configuration and
+    /// scenario overlays alike), without dropping anything — callers
+    /// remove fallible tiers first and only then commit the memory drop
+    /// via [`take_digest_keys`](Self::take_digest_keys).
+    pub(crate) fn digest_keys(&self, digest: &NetlistDigest) -> Vec<String> {
+        self.inner
+            .read()
+            .expect("session cache lock")
+            .by_digest
+            .get(&digest.to_hex())
+            .cloned()
+            .unwrap_or_default()
+    }
+
     /// Drops every cached key derived from `digest` (base configuration
     /// and scenario overlays alike), returning the dropped keys so the
     /// caller can mirror the removal into the persistent tier.
@@ -140,51 +158,6 @@ pub(crate) struct SharedState<'a> {
     pub threads: usize,
 }
 
-/// Resolves a thread-count option: `0` means available parallelism.
-pub(crate) fn effective_threads(threads: usize) -> usize {
-    match threads {
-        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
-        n => n,
-    }
-}
-
-/// Runs `run(i)` for `i in 0..n` across up to `workers` scoped threads,
-/// returning results in index order. `workers <= 1` runs inline. The
-/// index order of results (and therefore every fold over them) is
-/// deterministic regardless of scheduling.
-pub(crate) fn parallel_indexed<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = workers.min(n);
-    if workers <= 1 {
-        return (0..n).map(run).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = run(i);
-                *slots[i].lock().expect("result slot") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every index ran")
-        })
-        .collect()
-}
-
 /// Runs one scenario through the full pipeline: plan → resolve →
 /// assemble/analyze → report. Also returns the scenario's distinct
 /// fingerprint keys so a batch can union them without re-planning.
@@ -220,8 +193,10 @@ pub(crate) fn run_scenario(
         &params.config,
         params.mode,
         shared.cache,
+        shared.threads,
     )?;
     stats.assembly_seconds = assembly_started.elapsed().as_secs_f64();
+    stats.phases = timing.phases;
 
     let timing_yield = params
         .yield_target_ps

@@ -6,7 +6,7 @@
 //! services can log a run without dumping fields by hand.
 
 use crate::store::Codec;
-use ssta_core::DesignTiming;
+use ssta_core::{DesignTiming, PhaseTimings};
 use std::fmt;
 
 /// Accounting for one analysis run (one scenario's trip through the
@@ -48,6 +48,10 @@ pub struct RunStats {
     pub resolve_seconds: f64,
     /// Wall-clock seconds assembling and analyzing the top level.
     pub assembly_seconds: f64,
+    /// Per-phase breakdown of the design-level analysis inside
+    /// [`assembly_seconds`](Self::assembly_seconds) (partition /
+    /// covariance / eigen / replace / propagate).
+    pub phases: PhaseTimings,
 }
 
 /// Formats a byte count with a binary-unit suffix.
@@ -97,7 +101,11 @@ impl fmt::Display for RunStats {
             " | resolve {:.1} ms + assembly {:.1} ms",
             1e3 * self.resolve_seconds,
             1e3 * self.assembly_seconds
-        )
+        )?;
+        if self.phases.total_seconds() > 0.0 {
+            write!(f, " ({})", self.phases)?;
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +167,9 @@ pub struct BatchStats {
     pub store_codec: Option<Codec>,
     /// Wall-clock seconds for the whole batch, scenario fan-out included.
     pub elapsed_seconds: f64,
+    /// Design-level phase times summed over all scenarios (CPU seconds,
+    /// not wall-clock: scenarios overlap).
+    pub phases: PhaseTimings,
 }
 
 impl BatchStats {
@@ -173,6 +184,7 @@ impl BatchStats {
         self.store_write_failures += run.store_write_failures;
         self.store_bytes_written += run.store_bytes_written;
         self.store_bytes_read += run.store_bytes_read;
+        self.phases.accumulate(&run.phases);
     }
 }
 
@@ -251,9 +263,32 @@ mod tests {
         assert!(line.contains("extracted 1"));
         assert!(line.contains("41.2 KiB"));
         assert!(line.contains("binary"));
-        // Zero-valued degradations stay out of the line.
+        // Zero-valued degradations stay out of the line, and so does an
+        // unpopulated phase breakdown.
         assert!(!line.contains("rejected"));
         assert!(!line.contains("coalesced"));
+        assert!(!line.contains("partition"));
+    }
+
+    #[test]
+    fn run_stats_display_includes_phase_breakdown_when_present() {
+        let stats = RunStats {
+            instances: 4,
+            distinct_modules: 1,
+            assembly_seconds: 0.0045,
+            phases: PhaseTimings {
+                partition_seconds: 0.0001,
+                covariance_seconds: 0.0008,
+                eigen_seconds: 0.0020,
+                replace_seconds: 0.0009,
+                propagate_seconds: 0.0004,
+            },
+            ..RunStats::default()
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("eigen 2.0"), "{line}");
+        assert!(line.contains("propagate 0.4"), "{line}");
     }
 
     #[test]

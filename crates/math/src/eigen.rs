@@ -1,10 +1,18 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//! Symmetric eigendecomposition.
 //!
-//! SSTA covariance matrices are symmetric with one row per spatial grid;
-//! a few hundred rows at most. The Jacobi method is numerically robust
-//! (it never loses symmetry), needs no external dependencies, and converges
-//! quadratically once the off-diagonal mass is small — a good match for this
-//! problem class even though it is O(n³) per sweep.
+//! Two solvers share one entry point:
+//!
+//! * [`symmetric_eigen`] — the default path, dispatching to the
+//!   Householder + implicit-shift QL solver in [`crate::tridiag`]. For
+//!   the design-level covariance matrices of many-instance designs
+//!   (hundreds of grids) it is an order of magnitude faster than Jacobi.
+//! * [`symmetric_eigen_jacobi`] — the cyclic Jacobi method, kept as a
+//!   slow-but-transparent reference oracle: it never loses symmetry and
+//!   its rotations are easy to audit, so tests cross-check the fast
+//!   solver's spectrum against it.
+//!
+//! Both solvers are loop-order deterministic: the same input always
+//! yields the bit-identical decomposition.
 
 use crate::{MathError, Matrix};
 
@@ -22,14 +30,45 @@ pub struct SymmetricEigen {
 /// typically reached in 6–12 sweeps even for n in the hundreds.
 const MAX_SWEEPS: usize = 64;
 
+/// Validates that `a` is square and symmetric (to `1e-8` relative to the
+/// largest diagonal entry), returning the scale used for tolerances.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] for non-square input.
+/// * [`MathError::NotSymmetric`] beyond the asymmetry tolerance.
+pub(crate) fn validate_symmetric(a: &Matrix, context: &'static str) -> Result<f64, MathError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MathError::DimensionMismatch {
+            context,
+            expected: (n, n),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
+    let asym = a.max_asymmetry();
+    if asym > 1e-8 * scale {
+        return Err(MathError::NotSymmetric {
+            max_asymmetry: asym,
+        });
+    }
+    Ok(scale)
+}
+
 /// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// Dispatches to the Householder + implicit-shift QL solver
+/// ([`crate::tridiag::symmetric_eigen_ql`]); use
+/// [`symmetric_eigen_jacobi`] when the (slower) Jacobi reference oracle
+/// is wanted explicitly.
 ///
 /// # Errors
 ///
 /// * [`MathError::DimensionMismatch`] for non-square input.
 /// * [`MathError::NotSymmetric`] if `a` deviates from symmetry by more than
 ///   `1e-8` relative to its largest diagonal entry.
-/// * [`MathError::EigenNoConvergence`] if the sweep budget is exhausted
+/// * [`MathError::EigenNoConvergence`] if the iteration budget is exhausted
 ///   (practically unreachable for well-formed covariance matrices).
 ///
 /// # Example
@@ -46,22 +85,19 @@ const MAX_SWEEPS: usize = 64;
 /// # }
 /// ```
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
-    let n = a.rows();
-    if !a.is_square() {
-        return Err(MathError::DimensionMismatch {
-            context: "symmetric_eigen",
-            expected: (n, n),
-            found: (a.rows(), a.cols()),
-        });
-    }
-    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1.0, f64::max);
-    let asym = a.max_asymmetry();
-    if asym > 1e-8 * scale {
-        return Err(MathError::NotSymmetric {
-            max_asymmetry: asym,
-        });
-    }
+    crate::tridiag::symmetric_eigen_ql(a)
+}
 
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix with
+/// the cyclic Jacobi method — the reference oracle the fast QL solver is
+/// cross-checked against.
+///
+/// # Errors
+///
+/// Same contract as [`symmetric_eigen`].
+pub fn symmetric_eigen_jacobi(a: &Matrix) -> Result<SymmetricEigen, MathError> {
+    let scale = validate_symmetric(a, "symmetric_eigen_jacobi")?;
+    let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
     let tol = 1e-14 * scale.max(f64::MIN_POSITIVE);
@@ -69,7 +105,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
     for _sweep in 0..MAX_SWEEPS {
         let off = off_diagonal_norm(&m);
         if off <= tol * n as f64 {
-            return Ok(collect(m, v));
+            return Ok(collect_diagonal(&m, v));
         }
         for p in 0..n {
             for q in (p + 1)..n {
@@ -100,7 +136,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
     if off <= 1e-9 * scale * n as f64 {
         // Converged well enough for covariance work even if the strict
         // tolerance was not met.
-        return Ok(collect(m, v));
+        return Ok(collect_diagonal(&m, v));
     }
     Err(MathError::EigenNoConvergence {
         off_diagonal_norm: off,
@@ -155,18 +191,26 @@ fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
     }
 }
 
-/// Sorts by descending eigenvalue and packages the result.
-fn collect(m: Matrix, v: Matrix) -> SymmetricEigen {
-    let n = m.rows();
+/// Sorts by descending eigenvalue and packages the result. `d[i]` is the
+/// eigenvalue whose eigenvector is column `i` of `v`.
+pub(crate) fn collect_sorted(d: &[f64], v: Matrix) -> SymmetricEigen {
+    let n = d.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
 
-    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
     SymmetricEigen {
         eigenvalues,
         eigenvectors,
     }
+}
+
+/// [`collect_sorted`] reading the eigenvalues off a (numerically)
+/// diagonalized matrix.
+fn collect_diagonal(m: &Matrix, v: Matrix) -> SymmetricEigen {
+    let d: Vec<f64> = (0..m.rows()).map(|i| m[(i, i)]).collect();
+    collect_sorted(&d, v)
 }
 
 #[cfg(test)]
@@ -244,6 +288,25 @@ mod tests {
             symmetric_eigen(&a),
             Err(MathError::NotSymmetric { .. })
         ));
+        assert!(matches!(
+            symmetric_eigen_jacobi(&a),
+            Err(MathError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn jacobi_oracle_reconstructs_and_matches_default_spectrum() {
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 4.0).exp()
+        });
+        let jac = symmetric_eigen_jacobi(&a).unwrap();
+        assert!(reconstruct(&jac).max_abs_diff(&a).unwrap() < 1e-9);
+        let ql = symmetric_eigen(&a).unwrap();
+        for (x, y) in ql.eigenvalues.iter().zip(&jac.eigenvalues) {
+            assert!((x - y).abs() < 1e-9 * x.abs().max(1.0), "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //!   for covariance handling (products, transposes, sub-matrices).
 //! * [`cholesky`] — Cholesky factorization, used to validate covariance
 //!   matrices and to sample correlated Gaussians in tests.
-//! * [`eigen`] — a cyclic Jacobi eigensolver for symmetric matrices; the
-//!   problem sizes in SSTA (one variable per spatial grid, at most a few
-//!   hundred) make Jacobi both robust and fast enough.
+//! * [`eigen`] / [`tridiag`] — symmetric eigensolvers: a fast Householder
+//!   tridiagonalization + implicit-shift QL solver (the default behind
+//!   [`eigen::symmetric_eigen`]) and the cyclic Jacobi method kept as a
+//!   reference oracle ([`eigen::symmetric_eigen_jacobi`]); design-level
+//!   covariance matrices grow with instance count, so the eigensolve is
+//!   the top-level assembly's hottest kernel.
 //! * [`pca`] — principal component analysis built on the eigensolver,
 //!   producing the `correlated = T·z` transform (with unit-variance `z`)
 //!   and its whitening inverse that the variable-replacement step of
@@ -56,6 +59,7 @@ pub mod gaussian;
 pub mod pca;
 pub mod rng;
 pub mod stats;
+pub mod tridiag;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use digest::{sha256, Sha256};

@@ -147,12 +147,34 @@ impl Matrix {
         &self.data
     }
 
+    /// The underlying row-major storage, mutably. Kernels that sweep the
+    /// whole matrix (eigensolvers, transposes) use this to work on flat
+    /// slices instead of paying per-entry index checks.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Returns the transposed matrix.
+    ///
+    /// Copies in square blocks so both the source reads and the
+    /// destination writes stay within a few cache lines at a time — a
+    /// naive row sweep writes the destination column-major, which thrashes
+    /// the cache once the matrix outgrows L1 (design-level PCA transforms
+    /// are `n_grids × n_grids`-ish, in the hundreds for many-instance
+    /// designs).
     pub fn transposed(&self) -> Matrix {
+        const BLOCK: usize = 32;
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+        for i0 in (0..self.rows).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(self.rows);
+            for j0 in (0..self.cols).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(self.cols);
+                for i in i0..i1 {
+                    let src = &self.row(i)[j0..j1];
+                    for (dj, &v) in src.iter().enumerate() {
+                        t.data[(j0 + dj) * self.rows + i] = v;
+                    }
+                }
             }
         }
         t
@@ -399,6 +421,23 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t[(2, 1)], 6.0);
         assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_reference_beyond_one_block() {
+        // Shapes straddling the 32-wide block boundary, rectangular both
+        // ways.
+        for (r, c) in [(33, 70), (70, 33), (64, 64), (1, 100), (100, 1)] {
+            let a = Matrix::from_fn(r, c, |i, j| (i * 1000 + j) as f64);
+            let t = a.transposed();
+            assert_eq!(t.rows(), c);
+            assert_eq!(t.cols(), r);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[(j, i)], a[(i, j)]);
+                }
+            }
+        }
     }
 
     #[test]
