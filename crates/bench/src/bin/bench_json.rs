@@ -62,6 +62,12 @@ struct ScalingPoint {
     warm_seconds: f64,
     parallel_speedup: f64,
     phases: PhaseTimings,
+    /// `replace / total` share of the warm run's phase time — the
+    /// committed gate on the "serial tail" (ROADMAP): the per-instance
+    /// replacement matmuls this schema revision cache-blocks.
+    replace_share: f64,
+    /// `propagate / total` share of the warm run's phase time.
+    propagate_share: f64,
 }
 
 fn main() {
@@ -132,7 +138,7 @@ fn main() {
     };
     let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     let report = Report {
-        schema: 1,
+        schema: 2,
         profile: if tiny { "tiny" } else { "full" }.into(),
         eigen: duel,
         assembly: points,
@@ -257,6 +263,8 @@ fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> S
         &design.translated_geometries(),
         design.config().grid_pitch_um(),
     );
+    let total = warm.phases.total_seconds();
+    let share = |phase: f64| if total > 0.0 { phase / total } else { 0.0 };
     ScalingPoint {
         instances,
         n_grids: partition.n_grids(),
@@ -265,6 +273,8 @@ fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> S
         cold_seconds,
         warm_seconds,
         parallel_speedup: serial_seconds / warm_seconds,
+        replace_share: share(warm.phases.replace_seconds),
+        propagate_share: share(warm.phases.propagate_seconds),
         phases: warm.phases,
     }
 }

@@ -210,6 +210,55 @@ pub fn module_array_from_model(
     b.finish().expect("array design")
 }
 
+/// As [`module_array_design`] but as a pre-extraction
+/// [`ssta_engine::DesignSpec`] — the serving-workload shape: `n` chained
+/// instances of one ISCAS-85 module, die sized from the module geometry
+/// alone, so building the spec performs no characterization and the
+/// engine (or server) decides where the model comes from.
+pub fn module_array_spec(name: &str, n: usize) -> ssta_engine::DesignSpec {
+    assert!(n >= 1, "need at least one instance");
+    let config = SstaConfig::paper();
+    let netlist = iscas85(name).expect("known benchmark");
+    let placement = ssta_netlist::Placement::rows(&netlist, config.cell_pitch_um);
+    let geometry = ssta_core::GridGeometry::from_die(placement.die(), config.grid_pitch_um());
+    let (mw, mh) = geometry.extent_um();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let die = DieRect {
+        width: cols as f64 * mw,
+        height: rows as f64 * mh,
+    };
+    let n_in = netlist.n_inputs();
+    let n_out = netlist.n_outputs();
+    let mut b = ssta_engine::DesignSpec::builder(format!("{name}-array-{n}-spec"), die);
+    let m = b.add_module(netlist);
+    let ids: Vec<usize> = (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            b.add_instance(format!("u{i}"), m, (c as f64 * mw, r as f64 * mh))
+                .expect("instance fits tiled die")
+        })
+        .collect();
+    let chained = n_out.min(n_in);
+    for w in ids.windows(2) {
+        for k in 0..chained {
+            b.connect(w[0], k, w[1], k);
+        }
+    }
+    for k in 0..n_in {
+        b.expose_input(vec![(ids[0], k)]);
+    }
+    for &id in &ids[1..] {
+        for k in chained..n_in {
+            b.expose_input(vec![(id, k)]);
+        }
+    }
+    for k in 0..n_out {
+        b.expose_output(*ids.last().expect("nonempty"), k);
+    }
+    b.finish().expect("array spec")
+}
+
 /// Builds the Fig. 7 experimental design: four `width×width` multipliers
 /// in two columns, first-column outputs cross-connected to second-column
 /// inputs, all modules abutted so the spatial correlation is maximal.

@@ -21,7 +21,10 @@
 //! * [`scenario`] — named what-if overlays of the analysis setup, split
 //!   into extraction-relevant and analysis-level knobs so sweeps share
 //!   cached models wherever the math allows;
-//! * [`yield_analysis`] — delay-yield utilities.
+//! * [`yield_analysis`] — delay-yield utilities;
+//! * [`parallel`] / [`cancel`] — deterministic fork-join helpers and the
+//!   cooperative [`CancelToken`] that serving layers thread through
+//!   long-running analyses.
 //!
 //! # Example: extract a timing model and inspect its compression
 //!
@@ -50,6 +53,7 @@ mod error;
 mod module;
 mod params;
 
+pub mod cancel;
 pub mod codec;
 pub mod criticality;
 pub mod extract;
@@ -60,6 +64,7 @@ pub mod scenario;
 pub mod spatial;
 pub mod yield_analysis;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use canonical::CanonicalForm;
 pub use criticality::CriticalityOptions;
 pub use error::CoreError;

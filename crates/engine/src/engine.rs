@@ -33,15 +33,41 @@ use crate::scenario::ScenarioSet;
 use crate::spec::{DesignSpec, ModuleId};
 use crate::store::{Codec, FsBackend, ModelStore, StorageBackend};
 use ssta_core::{
-    module_fingerprint, module_fingerprint_from_digest, netlist_digest, CorrelationMode,
-    ExtractOptions, ModuleContext, SstaConfig, TimingModel,
+    module_fingerprint, module_fingerprint_from_digest, netlist_digest, CancelToken,
+    CorrelationMode, ExtractOptions, ModuleContext, SstaConfig, TimingModel,
 };
 use ssta_netlist::Netlist;
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub use crate::pipeline::report::{BatchRun, BatchStats, EngineRun, RunStats, ScenarioRun};
+
+/// A single-flight table shareable **across engines**: clone one group
+/// into every worker of a serving pool and concurrent identical requests
+/// coalesce their extractions across workers, not just across the
+/// scenarios of one batch.
+///
+/// Entries retire as soon as their leader publishes, so the group holds
+/// no memoized results — it is pure concurrency dedup and is always
+/// safe to keep alive across invalidations (a retired flight cannot
+/// serve a stale model).
+#[derive(Debug, Clone, Default)]
+pub struct FlightGroup {
+    flights: Arc<SingleFlight>,
+}
+
+impl FlightGroup {
+    /// An empty group.
+    pub fn new() -> Self {
+        FlightGroup::default()
+    }
+
+    pub(crate) fn table(&self) -> &SingleFlight {
+        &self.flights
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -96,6 +122,7 @@ pub struct Engine {
     options: EngineOptions,
     memory: SessionCache,
     store: Option<ModelStore<Box<dyn StorageBackend>>>,
+    flights: FlightGroup,
 }
 
 impl Engine {
@@ -112,7 +139,17 @@ impl Engine {
             options,
             memory: SessionCache::default(),
             store: None,
+            flights: FlightGroup::new(),
         }
+    }
+
+    /// Shares a [`FlightGroup`] with this engine, so in-flight module
+    /// resolutions coalesce with every other engine holding a clone of
+    /// the same group (a serving worker pool, typically). Engines not
+    /// given a group still single-flight within their own batches.
+    pub fn with_flight_group(mut self, flights: FlightGroup) -> Self {
+        self.flights = flights;
+        self
     }
 
     /// Attaches a persistent model library rooted at `path` (created if
@@ -299,6 +336,32 @@ impl Engine {
         spec: &DesignSpec,
         scenarios: &ScenarioSet,
     ) -> Result<BatchRun, EngineError> {
+        self.analyze_batch_cancellable(spec, scenarios, &CancelToken::new())
+    }
+
+    /// [`Engine::analyze_batch`] with a cooperative [`CancelToken`].
+    ///
+    /// The pipeline polls `cancel` at stage checkpoints — before
+    /// planning, before each module resolution, and between resolve and
+    /// assemble — and returns [`EngineError::Cancelled`] at the first
+    /// one that fires. Cancellation never interrupts work mid-kernel:
+    /// a module resolution this request *leads* runs to completion
+    /// (other requests may be waiting on it) and its model is published
+    /// to the caches as usual, while a resolution this request merely
+    /// *follows* is detached from immediately. A token with a deadline
+    /// ([`CancelToken::with_timeout`]) turns a latency budget into an
+    /// automatic mid-pipeline stop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::analyze_batch`], plus [`EngineError::Cancelled`]
+    /// once the token fires.
+    pub fn analyze_batch_cancellable(
+        &mut self,
+        spec: &DesignSpec,
+        scenarios: &ScenarioSet,
+        cancel: &CancelToken,
+    ) -> Result<BatchRun, EngineError> {
         if scenarios.is_empty() {
             return Err(EngineError::Spec {
                 reason: "a batch needs at least one scenario".into(),
@@ -327,12 +390,12 @@ impl Engine {
         // oversubscribes to workers² OS threads.
         let workers = effective_threads(self.options.threads);
         let scenario_workers = workers.min(params.len());
-        let flights = SingleFlight::new();
         let shared = SharedState {
             cache: &self.memory,
-            flights: &flights,
+            flights: self.flights.table(),
             store: self.store.as_ref(),
             threads: (workers / scenario_workers.max(1)).max(1),
+            cancel,
         };
 
         let outcomes = parallel_indexed(params.len(), scenario_workers, |i| {

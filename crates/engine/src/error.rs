@@ -27,6 +27,11 @@ pub enum EngineError {
     /// onto a resolution that then failed, and the original error is
     /// jointly owned by every waiter.
     Flight(std::sync::Arc<EngineError>),
+    /// The request's [`CancelToken`](ssta_core::CancelToken) fired — an
+    /// expired deadline or an explicit client cancel — and the pipeline
+    /// stopped at the next checkpoint. Partial work already published to
+    /// the session cache or model library stays valid and reusable.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +42,7 @@ impl fmt::Display for EngineError {
             EngineError::Store { reason } => write!(f, "model library artifact rejected: {reason}"),
             EngineError::Spec { reason } => write!(f, "invalid design spec: {reason}"),
             EngineError::Flight(e) => write!(f, "coalesced module resolution failed: {e}"),
+            EngineError::Cancelled => write!(f, "analysis cancelled"),
         }
     }
 }
@@ -67,6 +73,17 @@ impl EngineError {
                 reason: reason.clone(),
             },
             EngineError::Flight(e) => EngineError::Flight(std::sync::Arc::clone(e)),
+            EngineError::Cancelled => EngineError::Cancelled,
+        }
+    }
+
+    /// Whether this error (or the flight failure it shares) is a
+    /// cooperative cancellation rather than a genuine analysis failure.
+    pub fn is_cancelled(&self) -> bool {
+        match self {
+            EngineError::Cancelled => true,
+            EngineError::Flight(e) => e.is_cancelled(),
+            _ => false,
         }
     }
 }
@@ -80,5 +97,11 @@ impl From<CoreError> for EngineError {
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e)
+    }
+}
+
+impl From<ssta_core::Cancelled> for EngineError {
+    fn from(_: ssta_core::Cancelled) -> Self {
+        EngineError::Cancelled
     }
 }

@@ -94,7 +94,8 @@ mod spec;
 pub mod store;
 
 pub use engine::{
-    BatchRun, BatchStats, Engine, EngineOptions, EngineRun, ModelSource, RunStats, ScenarioRun,
+    BatchRun, BatchStats, Engine, EngineOptions, EngineRun, FlightGroup, ModelSource, RunStats,
+    ScenarioRun,
 };
 pub use error::EngineError;
 pub use scenario::{Scenario, ScenarioSet};

@@ -34,7 +34,8 @@ use crate::store::{ModelStore, StorageBackend};
 use report::{RunStats, ScenarioRun};
 use singleflight::SingleFlight;
 use ssta_core::{
-    yield_analysis, CorrelationMode, ExtractOptions, NetlistDigest, SstaConfig, TimingModel,
+    yield_analysis, CancelToken, CorrelationMode, ExtractOptions, NetlistDigest, SstaConfig,
+    TimingModel,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -156,6 +157,10 @@ pub(crate) struct SharedState<'a> {
     pub store: Option<&'a ModelStore<Box<dyn StorageBackend>>>,
     /// Worker threads for the resolve stage (already defaulted, ≥ 1).
     pub threads: usize,
+    /// The batch's cooperative cancellation token, polled at stage
+    /// checkpoints (never mid-kernel, and never under a flight leader
+    /// that other scenarios wait on).
+    pub cancel: &'a CancelToken,
 }
 
 /// Runs one scenario through the full pipeline: plan → resolve →
@@ -166,6 +171,7 @@ pub(crate) fn run_scenario(
     params: &ScenarioParams,
     shared: &SharedState<'_>,
 ) -> Result<(ScenarioRun, Vec<String>), EngineError> {
+    shared.cancel.checkpoint()?;
     let resolve_started = Instant::now();
     let mut stats = RunStats {
         instances: spec.instances.len(),
@@ -186,6 +192,11 @@ pub(crate) fn run_scenario(
     )?;
     stats.resolve_seconds = resolve_started.elapsed().as_secs_f64();
 
+    // Checkpoint between resolve and assemble: everything resolved so
+    // far is already published (session cache + library), so stopping
+    // here wastes none of it — the assemble/analyze stage is the pure
+    // per-request tail no other request can share.
+    shared.cancel.checkpoint()?;
     let assembly_started = Instant::now();
     let timing = assemble::assemble_and_analyze(
         spec,

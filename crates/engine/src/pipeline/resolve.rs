@@ -25,6 +25,11 @@ use std::sync::Arc;
 
 /// How one planned fingerprint was satisfied.
 enum Resolution {
+    /// Led the flight, but a just-retired flight's leader had already
+    /// published the model to the session cache — a memory hit taken
+    /// inside the flight to keep "extractions ≤ distinct fingerprints"
+    /// airtight across the retire window.
+    Memory,
     /// Led the flight; loaded from the persistent library.
     Store {
         /// Artifact bytes read (envelope included).
@@ -69,8 +74,23 @@ pub(crate) fn resolve_models(
     // Tiers 2 + 3, single-flighted and fanned out over workers.
     let run_job = |i: usize| -> Result<(Arc<TimingModel>, Resolution), EngineError> {
         let (key, idx) = jobs[i];
+        // Checkpoint per job: a cancelled request stops before starting
+        // (or following) the next flight, never under one it leads.
+        shared.cancel.checkpoint()?;
         let mut led_how = None;
-        let (outcome, led) = shared.flights.resolve(key, || {
+        let (outcome, led) = shared.flights.resolve(key, shared.cancel, || {
+            // Tier 1½: flights auto-retire on publication, so a caller
+            // that raced past the tier-1 check and became leader *after*
+            // another leader published must take the cached model, not
+            // re-extract it.
+            if let Some(model) = shared.cache.get(key) {
+                led_how = Some(Resolution::Memory);
+                return Ok(model);
+            }
+            // The leader publishes to the session cache *inside* the
+            // flight (before it retires), so no later caller can slip
+            // between publication and cache visibility and re-extract.
+            let digest = spec.modules[idx].structural_digest();
             let mut rejected = false;
             if let Some(store) = shared.store {
                 match store.load_traced(key) {
@@ -78,7 +98,9 @@ pub(crate) fn resolve_models(
                         led_how = Some(Resolution::Store {
                             bytes: info.bytes as u64,
                         });
-                        return Ok(Arc::new(model));
+                        let model = Arc::new(model);
+                        shared.cache.insert(digest, key.clone(), Arc::clone(&model));
+                        return Ok(model);
                     }
                     Ok(None) => {}
                     Err(EngineError::Store { .. }) => rejected = true,
@@ -103,6 +125,7 @@ pub(crate) fn resolve_models(
                 wrote,
                 write_failed,
             });
+            shared.cache.insert(digest, key.clone(), Arc::clone(&model));
             Ok(model)
         });
         let model = outcome?;
@@ -120,6 +143,7 @@ pub(crate) fn resolve_models(
     for ((key, idx), outcome) in jobs.iter().zip(outcomes) {
         let (model, how) = outcome?;
         match how {
+            Resolution::Memory => stats.memory_hits += 1,
             Resolution::Store { bytes } => {
                 stats.store_hits += 1;
                 stats.store_bytes_read += bytes;

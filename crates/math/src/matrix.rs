@@ -211,6 +211,60 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Cache-blocked matrix product `self · other`, bit-identical to
+    /// [`matmul`](Self::matmul).
+    ///
+    /// Uses the same 32×32 tiling as [`transposed`](Self::transposed):
+    /// the `(k, j)` panel of `other` touched by one tile fits in L1, so
+    /// sweeping many rows of `self` over a wide right-hand side (the
+    /// per-instance replacement build multiplies a small whitening
+    /// matrix by a `grids × design-components` transform slice) stops
+    /// re-streaming the whole right operand from L2/L3 once per row.
+    ///
+    /// Bit-identity holds because for every output entry `(i, j)` the
+    /// contributions accumulate in the same ascending-`k` order as the
+    /// unblocked kernel (the `k`-tile loop is outside the `j`-tile
+    /// loop), with the same skip of exact-zero left entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_blocked(&self, other: &Matrix) -> Result<Matrix, MathError> {
+        if self.cols != other.rows {
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::matmul_blocked",
+                expected: (self.cols, self.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        const BLOCK: usize = 32;
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i0 in (0..self.rows).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(self.rows);
+            for k0 in (0..self.cols).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(self.cols);
+                for j0 in (0..other.cols).step_by(BLOCK) {
+                    let j1 = (j0 + BLOCK).min(other.cols);
+                    for i in i0..i1 {
+                        let lhs_row = &self.row(i)[k0..k1];
+                        for (dk, &lhs) in lhs_row.iter().enumerate() {
+                            if lhs == 0.0 {
+                                continue;
+                            }
+                            let rhs_row = &other.row(k0 + dk)[j0..j1];
+                            let out_row = &mut out.row_mut(i)[j0..j1];
+                            for (o, &rhs) in out_row.iter_mut().zip(rhs_row) {
+                                *o += lhs * rhs;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Matrix–vector product `self · v`.
     ///
     /// # Errors
@@ -438,6 +492,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_unblocked() {
+        // Shapes straddling the 32-wide tile boundary, rectangular both
+        // ways, plus a scattering of exact zeros so the zero-skip path
+        // is exercised identically in both kernels. Entries are scaled
+        // irrationally so any accumulation-order difference would show
+        // up in the low mantissa bits.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (7, 5, 3),
+            (33, 70, 41),
+            (70, 33, 64),
+            (64, 64, 64),
+            (1, 100, 33),
+            (40, 1, 40),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| {
+                if (i + j) % 7 == 0 {
+                    0.0
+                } else {
+                    ((i * 31 + j * 17) as f64).sin() / 3.0
+                }
+            });
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 29) as f64).cos() * 1.7);
+            let blocked = a.matmul_blocked(&b).unwrap();
+            let reference = a.matmul(&b).unwrap();
+            assert_eq!(
+                blocked.as_slice(),
+                reference.as_slice(),
+                "blocked matmul diverged for {m}x{k}·{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul_blocked(&b).is_err());
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The bounded two-lane submission queue and its admission policy.
+//!
+//! Hand-rolled on `Mutex` + `Condvar` (the vendored concurrency shim
+//! provides scoped threads, not channels) — which turns out to be
+//! exactly what's needed anyway: admission control wants to inspect
+//! queue state *atomically with* the enqueue decision, which a channel
+//! hides.
+
+use crate::request::{AnalyzeRequest, Priority, Rejection, RequestId};
+use crate::ticket::ResponseSlot;
+use ssta_core::CancelToken;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One admitted request travelling from `submit` to a worker.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: RequestId,
+    pub request: AnalyzeRequest,
+    pub cancel: CancelToken,
+    pub slot: Arc<ResponseSlot>,
+    pub submitted: Instant,
+}
+
+#[derive(Debug)]
+struct Inner {
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+    /// Interactive jobs dequeued since the last batch job — the
+    /// anti-starvation meter.
+    served_since_batch: usize,
+    /// Jobs currently on workers (dequeued, not yet reported done).
+    in_flight: usize,
+    /// EWMA of completed-request service time, seeded from the
+    /// configured prior; drives the shed estimate.
+    ewma_service_secs: f64,
+    paused: bool,
+    closing: bool,
+}
+
+/// The shared submission queue: bounded, two-lane, shed-estimating.
+#[derive(Debug)]
+pub(crate) struct SubmitQueue {
+    inner: Mutex<Inner>,
+    work_ready: Condvar,
+    depth: usize,
+    batch_courtesy: usize,
+    workers: usize,
+}
+
+impl SubmitQueue {
+    pub(crate) fn new(
+        depth: usize,
+        batch_courtesy: usize,
+        workers: usize,
+        service_prior: Duration,
+        start_paused: bool,
+    ) -> Self {
+        SubmitQueue {
+            inner: Mutex::new(Inner {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                served_since_batch: 0,
+                in_flight: 0,
+                ewma_service_secs: service_prior.as_secs_f64(),
+                paused: start_paused,
+                closing: false,
+            }),
+            work_ready: Condvar::new(),
+            depth: depth.max(1),
+            batch_courtesy: batch_courtesy.max(1),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured queue bound.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs currently queued (not yet on a worker).
+    pub(crate) fn queued(&self) -> usize {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.interactive.len() + inner.batch.len()
+    }
+
+    /// Admission control + enqueue, atomically: the job either enters
+    /// its lane or comes back with the rejection to deliver.
+    pub(crate) fn admit(&self, job: Job) -> Result<(), Box<(Job, Rejection)>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let queued = inner.interactive.len() + inner.batch.len();
+        if queued >= self.depth {
+            return Err(Box::new((job, Rejection::QueueFull { depth: self.depth })));
+        }
+        if let Some(budget) = job.request.deadline {
+            // Load shedding: refuse up front when the backlog alone is
+            // already expected to outlast the budget — the cheapest
+            // place to say no is before any CPU is spent.
+            let backlog = queued + inner.in_flight;
+            let estimated_wait = Duration::from_secs_f64(
+                inner.ewma_service_secs * backlog as f64 / self.workers as f64,
+            );
+            if estimated_wait > budget {
+                return Err(Box::new((
+                    job,
+                    Rejection::Shed {
+                        estimated_wait,
+                        deadline: budget,
+                    },
+                )));
+            }
+        }
+        match job.request.priority {
+            Priority::Interactive => inner.interactive.push_back(job),
+            Priority::Batch => inner.batch.push_back(job),
+        }
+        drop(inner);
+        self.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job a worker should serve; `None` once the
+    /// queue is closing *and* drained — the worker's signal to exit.
+    pub(crate) fn next_job(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if !inner.paused {
+                if let Some(job) = dequeue_fair(&mut inner, self.batch_courtesy) {
+                    inner.in_flight += 1;
+                    return Some(job);
+                }
+                if inner.closing {
+                    return None;
+                }
+            }
+            inner = self.work_ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Reports a dequeued job finished; `service` is its measured
+    /// service time when it completed (cancelled/failed runs don't
+    /// feed the estimate).
+    pub(crate) fn job_done(&self, service: Option<Duration>) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.in_flight -= 1;
+        if let Some(measured) = service {
+            inner.ewma_service_secs = 0.7 * inner.ewma_service_secs + 0.3 * measured.as_secs_f64();
+        }
+    }
+
+    /// Lifts a `start_paused` hold; workers start dequeuing.
+    pub(crate) fn resume(&self) {
+        self.inner.lock().expect("queue lock").paused = false;
+        self.work_ready.notify_all();
+    }
+
+    /// Begins shutdown: no effect on queued jobs (workers drain them so
+    /// every admitted request still gets its terminal response), but
+    /// workers exit once the queue is empty. Also lifts any pause —
+    /// shutting down a paused server must not deadlock.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closing = true;
+        inner.paused = false;
+        drop(inner);
+        self.work_ready.notify_all();
+    }
+}
+
+/// Two-lane fair dequeue: interactive first, but after `batch_courtesy`
+/// consecutive interactive picks the next batch job goes ahead — so a
+/// mega-sweep can't be starved by a stream of small requests, and small
+/// requests never sit behind a sweep that arrived first.
+fn dequeue_fair(inner: &mut Inner, batch_courtesy: usize) -> Option<Job> {
+    let take_batch = match (inner.interactive.is_empty(), inner.batch.is_empty()) {
+        (true, true) => return None,
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => inner.served_since_batch >= batch_courtesy,
+    };
+    if take_batch {
+        inner.served_since_batch = 0;
+        inner.batch.pop_front()
+    } else {
+        inner.served_since_batch += 1;
+        inner.interactive.pop_front()
+    }
+}

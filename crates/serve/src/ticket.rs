@@ -1,0 +1,115 @@
+//! The client's handle on a submitted request.
+
+use crate::request::{AnalyzeResponse, RequestId};
+use ssta_core::CancelToken;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot mailbox a worker fills with the terminal response and the
+/// client waits on — the in-process stand-in for a response channel.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    response: Mutex<Option<AnalyzeResponse>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot::default())
+    }
+
+    /// Delivers the terminal response. Called exactly once per request.
+    pub(crate) fn fill(&self, response: AnalyzeResponse) {
+        let mut slot = self.response.lock().expect("response slot lock");
+        debug_assert!(
+            slot.is_none(),
+            "a request has exactly one terminal response"
+        );
+        *slot = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> AnalyzeResponse {
+        let mut slot = self.response.lock().expect("response slot lock");
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.ready.wait(slot).expect("response slot lock");
+        }
+    }
+
+    fn wait_for(&self, budget: Duration) -> Option<AnalyzeResponse> {
+        let deadline = std::time::Instant::now() + budget;
+        let mut slot = self.response.lock().expect("response slot lock");
+        loop {
+            if let Some(response) = slot.take() {
+                return Some(response);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            slot = self
+                .ready
+                .wait_timeout(slot, left)
+                .expect("response slot lock")
+                .0;
+        }
+    }
+}
+
+/// The handle [`Server::submit`](crate::Server::submit) returns:
+/// identifies the request, can cancel it, and collects its one terminal
+/// response.
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    cancel: CancelToken,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: RequestId, cancel: CancelToken, slot: Arc<ResponseSlot>) -> Self {
+        Ticket { id, cancel, slot }
+    }
+
+    /// The server-assigned request id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Requests cooperative cancellation: a queued request is dropped
+    /// when a worker picks it up; an in-flight one stops at the next
+    /// pipeline checkpoint. Either way the ticket still receives its
+    /// terminal response (outcome [`Cancelled`](crate::Outcome::Cancelled),
+    /// unless the analysis already finished).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the request's [`CancelToken`], for callers that want
+    /// to wire cancellation into their own machinery.
+    pub fn token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks until the terminal response arrives and returns it.
+    pub fn wait(self) -> AnalyzeResponse {
+        self.slot.wait()
+    }
+
+    /// Like [`wait`](Self::wait) with a bound: `Err(self)` gives the
+    /// ticket back if no response arrived within `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` on timeout so the caller can keep waiting or
+    /// cancel.
+    pub fn wait_for(self, budget: Duration) -> Result<AnalyzeResponse, Ticket> {
+        match self.slot.wait_for(budget) {
+            Some(response) => Ok(response),
+            None => Err(self),
+        }
+    }
+}

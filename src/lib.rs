@@ -22,7 +22,12 @@
 //!   analysis pipeline (plan → resolve → assemble → report) with
 //!   fingerprint-deduplicating parallel extraction, a scenario-sweep
 //!   batch API with single-flight dedup of concurrent extractions, and
-//!   incremental re-analysis with per-module invalidation.
+//!   incremental re-analysis with per-module invalidation;
+//! * [`serve`] — the in-process serving layer: a bounded two-lane
+//!   request queue with admission control and load shedding, a worker
+//!   pool of engines over one shared warm model store, cooperative
+//!   per-request cancellation, and per-request/server-level serving
+//!   statistics.
 //!
 //! # Quickstart
 //!
@@ -51,4 +56,5 @@ pub use ssta_engine as engine;
 pub use ssta_math as math;
 pub use ssta_mc as mc;
 pub use ssta_netlist as netlist;
+pub use ssta_serve as serve;
 pub use ssta_timing as timing;
