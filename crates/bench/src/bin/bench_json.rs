@@ -10,26 +10,30 @@
 //!   reconstructions against the input.
 //! * **assembly** — design-level analysis scaling over many-instance
 //!   arrays (4/16/64 instances of c880 by default): serial vs parallel
-//!   wall-clock, cold vs warm, and the per-phase breakdown of the warm
-//!   parallel run. Serial and parallel results are asserted
-//!   bit-identical.
+//!   wall-clock, cold vs warm, the per-phase breakdown of the warm
+//!   parallel run, and (schema 3) a **propagate** duel on the assembled
+//!   design graph — push-based topo-order propagation vs the levelized
+//!   pull engine, serial and threaded, plus the schedule's level count
+//!   and maximum level width. Serial and parallel results are asserted
+//!   bit-identical; in full mode the pull engine must beat push on the
+//!   16- and 64-instance rows.
 //!
 //! `--tiny` (or `SSTA_BENCH_PROFILE=tiny`) shrinks every size so CI can
-//! exercise the whole path in seconds; the speedup assertion is relaxed
-//! to a sanity floor there, because tiny matrices measure mostly
-//! overhead.
+//! exercise the whole path in seconds; speed assertions are relaxed to
+//! equivalence-only there, because tiny graphs measure mostly overhead.
 //!
 //! Run with `cargo run -p ssta-bench --release --bin bench_json`.
 
 use serde::Serialize;
 use ssta_bench::{characterize, module_array_from_model};
 use ssta_core::{
-    analyze_with, AnalyzeOptions, CorrelationMode, CorrelationModel, DesignTiming, ExtractOptions,
-    PhaseTimings, SstaConfig,
+    analyze_with, assemble_design_graph, AnalyzeOptions, CorrelationMode, CorrelationModel,
+    DesignTiming, ExtractOptions, PhaseTimings, SstaConfig,
 };
 use ssta_math::eigen::{symmetric_eigen, symmetric_eigen_jacobi};
 use ssta_math::tridiag::symmetric_eigen_ql;
 use ssta_math::Matrix;
+use ssta_timing::{levels, LevelSchedule};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -68,6 +72,26 @@ struct ScalingPoint {
     replace_share: f64,
     /// `propagate / total` share of the warm run's phase time.
     propagate_share: f64,
+    /// The push-vs-pull propagation duel on this row's assembled graph.
+    propagate: PropagateDuel,
+}
+
+/// Propagation-engine duel on one assembled design graph. The pull rows
+/// share one `LevelSchedule` (timed separately in
+/// `schedule_build_seconds`) — the engine levelizes once per graph and
+/// amortizes it over every pass, while push re-runs its Kahn sort inside
+/// each call, which is exactly the serial tail this engine kills. The
+/// threaded row uses the default thread count and must match serial pull
+/// bit for bit.
+#[derive(Serialize)]
+struct PropagateDuel {
+    n_levels: usize,
+    max_level_width: usize,
+    schedule_build_seconds: f64,
+    push_serial_seconds: f64,
+    pull_serial_seconds: f64,
+    pull_threaded_seconds: f64,
+    pull_vs_push_speedup: f64,
 }
 
 fn main() {
@@ -116,7 +140,10 @@ fn main() {
     let mut points = Vec::new();
     for &n in instance_counts {
         let design = module_array_from_model("c880", Arc::clone(&model), n, SstaConfig::paper());
-        let point = scaling_point(&design, n, reps);
+        // Pull must beat push once the graph is big enough to matter; the
+        // tiny profile (and the small full rows) only assert equivalence.
+        let assert_pull_wins = !tiny && n >= 16;
+        let point = scaling_point(&design, n, reps, assert_pull_wins);
         println!(
             "c880 x{n}: {} grids, serial {:.1} ms, parallel cold {:.1} ms / warm {:.1} ms ({:.2}x) | {}",
             point.n_grids,
@@ -125,6 +152,15 @@ fn main() {
             1e3 * point.warm_seconds,
             point.parallel_speedup,
             point.phases,
+        );
+        println!(
+            "         propagate ({} levels, widest {}): push {:.1} ms, pull {:.1} ms ({:.2}x), threaded {:.1} ms",
+            point.propagate.n_levels,
+            point.propagate.max_level_width,
+            1e3 * point.propagate.push_serial_seconds,
+            1e3 * point.propagate.pull_serial_seconds,
+            point.propagate.pull_vs_push_speedup,
+            1e3 * point.propagate.pull_threaded_seconds,
         );
         points.push(point);
     }
@@ -138,7 +174,7 @@ fn main() {
     };
     let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     let report = Report {
-        schema: 2,
+        schema: 3,
         profile: if tiny { "tiny" } else { "full" }.into(),
         eigen: duel,
         assembly: points,
@@ -228,7 +264,12 @@ fn reconstruction_error(e: &ssta_math::eigen::SymmetricEigen, a: &Matrix) -> f64
 /// (min-of-reps each), asserting parallel ≡ serial bit-identically.
 /// `parallel_speedup` compares the two *warm* paths, so it reads ~1.0 on
 /// a single-core machine and scales with cores elsewhere.
-fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> ScalingPoint {
+fn scaling_point(
+    design: &ssta_core::Design,
+    instances: usize,
+    reps: usize,
+    assert_pull_wins: bool,
+) -> ScalingPoint {
     let serial_opts = AnalyzeOptions { threads: 1 };
     let parallel_opts = AnalyzeOptions::default();
 
@@ -263,6 +304,8 @@ fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> S
         &design.translated_geometries(),
         design.config().grid_pitch_um(),
     );
+    let propagate = propagate_duel(design, reps, assert_pull_wins);
+
     let total = warm.phases.total_seconds();
     let share = |phase: f64| if total > 0.0 { phase / total } else { 0.0 };
     ScalingPoint {
@@ -276,6 +319,101 @@ fn scaling_point(design: &ssta_core::Design, instances: usize, reps: usize) -> S
         replace_share: share(warm.phases.replace_seconds),
         propagate_share: share(warm.phases.propagate_seconds),
         phases: warm.phases,
+        propagate,
+    }
+}
+
+/// Races the push-based reference propagation against the levelized pull
+/// engine on the row's assembled design graph (min of `reps` each). The
+/// pull passes share one schedule, timed separately — that once-per-graph
+/// amortization is the engine's contract (all-pairs extraction and
+/// criticality run hundreds of passes per schedule), while push re-sorts
+/// inside every call. Asserts threaded pull ≡ serial pull bit for bit,
+/// pull ≈ push within working precision at every primary output, and —
+/// when `assert_pull_wins` — that serial pull is strictly faster.
+fn propagate_duel(
+    design: &ssta_core::Design,
+    reps: usize,
+    assert_pull_wins: bool,
+) -> PropagateDuel {
+    let assembled = assemble_design_graph(
+        design,
+        CorrelationMode::Proposed,
+        &AnalyzeOptions::default(),
+    )
+    .expect("assembly");
+    let graph = &assembled.graph;
+    let sources = &assembled.sources;
+
+    let mut push_serial_seconds = f64::INFINITY;
+    let mut push = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let arr = ssta_timing::propagate::forward(graph, sources).expect("push forward");
+        push_serial_seconds = push_serial_seconds.min(t.elapsed().as_secs_f64());
+        push = Some(arr);
+    }
+    let push = push.expect("at least one rep");
+
+    let mut schedule_build_seconds = f64::INFINITY;
+    let mut built = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let s = LevelSchedule::build(graph).expect("levelize");
+        schedule_build_seconds = schedule_build_seconds.min(t.elapsed().as_secs_f64());
+        built = Some(s);
+    }
+    let schedule = built.expect("at least one rep");
+
+    let mut pull_serial_seconds = f64::INFINITY;
+    let mut pull = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let arr = levels::forward(graph, &schedule, sources, 1).expect("pull forward");
+        pull_serial_seconds = pull_serial_seconds.min(t.elapsed().as_secs_f64());
+        pull = Some(arr);
+    }
+    let pull = pull.expect("at least one rep");
+
+    let mut pull_threaded_seconds = f64::INFINITY;
+    let mut threaded = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let arr = levels::forward(graph, &schedule, sources, 0).expect("threaded forward");
+        pull_threaded_seconds = pull_threaded_seconds.min(t.elapsed().as_secs_f64());
+        threaded = Some(arr);
+    }
+    let threaded = threaded.expect("at least one rep");
+
+    assert_eq!(
+        threaded, pull,
+        "threaded pull propagation diverged from serial pull"
+    );
+    // Pull re-associates Clark's order-sensitive max, so against push it
+    // agrees to working precision, not bit-exactly.
+    for &v in graph.outputs() {
+        let a = pull[v.0 as usize].as_ref().expect("PO reachable");
+        let b = push[v.0 as usize].as_ref().expect("PO reachable");
+        let rel = (a.mean() - b.mean()).abs() / b.mean().abs().max(1.0);
+        assert!(rel < 1e-3, "pull vs push mean drift {rel:.3e} at a PO");
+    }
+    if assert_pull_wins {
+        assert!(
+            pull_serial_seconds < push_serial_seconds,
+            "levelized pull ({:.3} ms) failed to beat push ({:.3} ms)",
+            1e3 * pull_serial_seconds,
+            1e3 * push_serial_seconds,
+        );
+    }
+
+    PropagateDuel {
+        n_levels: schedule.n_levels(),
+        max_level_width: schedule.max_width(),
+        schedule_build_seconds,
+        push_serial_seconds,
+        pull_serial_seconds,
+        pull_threaded_seconds,
+        pull_vs_push_speedup: push_serial_seconds / pull_serial_seconds,
     }
 }
 

@@ -18,12 +18,18 @@
 //! cheap mean/σ prefilter: when `M_ij`'s mean exceeds `dₑ`'s by many
 //! combined sigmas, `c_ij` is vanishingly small and the exact tightness
 //! probability (which needs a full covariance dot product) is skipped.
+//!
+//! Every traversal of the sweep runs through one shared
+//! [`LevelSchedule`]: the graph is levelized once per call, not once per
+//! input/output, and each pass is the pull-ordered wavefront engine of
+//! [`ssta_timing::levels`].
 
 use crate::canonical::CanonicalForm;
 use crate::CoreError;
 use ssta_math::gaussian::tightness_probability;
+use ssta_math::parallel::try_parallel_indexed;
 use ssta_math::Histogram;
-use ssta_timing::{propagate, TimingGraph, VertexId};
+use ssta_timing::{levels, LevelSchedule, TimingGraph, VertexId};
 
 /// Options for the criticality engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +73,9 @@ pub fn edge_criticalities(
     outputs.sort();
     outputs.dedup();
 
+    // One levelization serves every forward and backward pass below.
+    let schedule = LevelSchedule::build(graph)?;
+
     let n_threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
@@ -96,9 +105,11 @@ pub fn edge_criticalities(
     let mut cm = vec![0.0f64; n_slots];
 
     for chunk in outputs.chunks(batch) {
-        // Backward propagation per output in this batch (parallel).
-        let required = parallel_map(chunk, n_threads, |&vj| {
-            propagate::backward(graph, &[(vj, zero.clone())])
+        // Backward propagation per output in this batch: independent
+        // sink passes fanned out via parallel_indexed (index-ordered,
+        // bit-identical for any thread count).
+        let required = try_parallel_indexed(chunk.len(), n_threads, |j| {
+            levels::backward(graph, &schedule, &[(chunk[j], zero.clone())], 1)
         })?;
         // Cache (nominal, sigma) of each required entry.
         let req_stats: Vec<Vec<Option<(f64, f64)>>> = required
@@ -115,8 +126,8 @@ pub fn edge_criticalities(
         let locals = parallel_map_chunks(&input_refs, n_threads, |chunk_inputs| {
             let mut local_cm = vec![0.0f64; n_slots];
             for &vi in chunk_inputs {
-                let arrival = propagate::forward(graph, &[(vi, zero.clone())])
-                    .expect("acyclic by construction");
+                let arrival = levels::forward(graph, &schedule, &[(vi, zero.clone())], 1)
+                    .expect("schedule built from this graph");
                 let arr_stats: Vec<Option<(f64, f64)>> = arrival
                     .iter()
                     .map(|o| o.as_ref().map(|f| (f.mean(), f.std_dev())))
@@ -205,8 +216,25 @@ pub fn pair_criticalities(
     vi: VertexId,
     vj: VertexId,
 ) -> Result<Vec<f64>, CoreError> {
-    let arrival = propagate::forward(graph, &[(vi, zero.clone())])?;
-    let required = propagate::backward(graph, &[(vj, zero.clone())])?;
+    let schedule = LevelSchedule::build(graph)?;
+    pair_criticalities_with(graph, &schedule, zero, vi, vj)
+}
+
+/// [`pair_criticalities`] over a prebuilt schedule, so repair loops that
+/// probe many pairs levelize the graph once.
+///
+/// # Errors
+///
+/// Propagates graph errors ([`CoreError::Timing`]).
+pub fn pair_criticalities_with(
+    graph: &TimingGraph<CanonicalForm>,
+    schedule: &LevelSchedule,
+    zero: &CanonicalForm,
+    vi: VertexId,
+    vj: VertexId,
+) -> Result<Vec<f64>, CoreError> {
+    let arrival = levels::forward(graph, schedule, &[(vi, zero.clone())], 1)?;
+    let required = levels::backward(graph, schedule, &[(vj, zero.clone())], 1)?;
     let n_slots = graph
         .edges_iter()
         .map(|(id, _)| id.0 as usize + 1)
@@ -241,34 +269,6 @@ pub fn criticality_histogram(
         h.push(cms[id.0 as usize]);
     }
     h
-}
-
-/// Runs `f` over every item, distributing items across `n_threads` scoped
-/// threads; results come back in input order.
-fn parallel_map<T: Sync, R: Send, E: Send>(
-    items: &[T],
-    n_threads: usize,
-    f: impl Fn(&T) -> Result<R, E> + Sync,
-) -> Result<Vec<R>, E> {
-    let chunk_size = items.len().div_ceil(n_threads.max(1)).max(1);
-    let results = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for chunk in items.chunks(chunk_size) {
-            let f = &f;
-            handles.push(s.spawn(move |_| chunk.iter().map(f).collect::<Result<Vec<R>, E>>()));
-        }
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.push(h.join().expect("worker panicked"));
-        }
-        out
-    })
-    .expect("scope panicked");
-    let mut flat = Vec::with_capacity(items.len());
-    for r in results {
-        flat.extend(r?);
-    }
-    Ok(flat)
 }
 
 /// Runs `f` once per chunk of items across `n_threads` scoped threads.
@@ -396,6 +396,19 @@ mod tests {
             "expected bimodal histogram, modes hold {:.1}%",
             100.0 * (low + high) / total
         );
+    }
+
+    #[test]
+    fn full_sweep_levelizes_exactly_once() {
+        // All 2·(inputs + outputs)-ish traversals of the sweep must share
+        // one schedule — re-levelizing per pass is the bug this engine
+        // exists to fix. (The counter is thread-local; worker threads
+        // never build schedules, only the entry point does.)
+        let ctx = adder_ctx();
+        let before = ssta_timing::levels::schedule_builds();
+        let _ =
+            edge_criticalities(ctx.graph(), &ctx.zero(), &CriticalityOptions::default()).unwrap();
+        assert_eq!(ssta_timing::levels::schedule_builds(), before + 1);
     }
 
     #[test]

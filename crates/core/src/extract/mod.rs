@@ -164,12 +164,14 @@ fn repair_connectivity(
         o.dedup();
         o
     };
+    // One topological sort serves every pass below (two per input).
+    let order = graph.topo_order().map_err(CoreError::Timing)?;
     let mut restored = 0;
     for &vi in graph.inputs() {
         // Nominal arrival + connectivity in the full graph.
-        let full = nominal_forward(graph, vi, None);
+        let full = nominal_forward(graph, &order, vi, None);
         // Connectivity in the kept subgraph.
-        let kept = nominal_forward(graph, vi, Some(keep));
+        let kept = nominal_forward(graph, &order, vi, Some(keep));
         for &vj in &outputs {
             if full[vj.0 as usize].is_some() && kept[vj.0 as usize].is_none() {
                 restore_path(graph, &full, vi, vj, keep);
@@ -180,17 +182,18 @@ fn repair_connectivity(
     Ok(restored)
 }
 
-/// Scalar forward propagation on nominal delays, optionally restricted to
-/// kept edges. Returns per-vertex `Option<(arrival, predecessor edge)>`.
+/// Scalar forward propagation on nominal delays over a precomputed
+/// topological order, optionally restricted to kept edges. Returns
+/// per-vertex `Option<(arrival, predecessor edge)>`.
 fn nominal_forward(
     graph: &TimingGraph<CanonicalForm>,
+    order: &[VertexId],
     source: VertexId,
     keep: Option<&[bool]>,
 ) -> Vec<Option<(f64, Option<EdgeId>)>> {
-    let order = graph.topo_order().expect("module graphs are acyclic");
     let mut arr: Vec<Option<(f64, Option<EdgeId>)>> = vec![None; graph.vertex_bound()];
     arr[source.0 as usize] = Some((0.0, None));
-    for &v in &order {
+    for &v in order {
         let Some((av, _)) = arr[v.0 as usize] else {
             continue;
         };
@@ -230,10 +233,17 @@ fn repair_accuracy(
         o.dedup();
         o
     };
+    // One levelization + one topological sort serve every pass below:
+    // the reference loop, every repair round's masked sweeps, and the
+    // per-pair criticality probes.
+    let schedule = ssta_timing::LevelSchedule::build(graph).map_err(CoreError::Timing)?;
+    let order = graph.topo_order().map_err(CoreError::Timing)?;
+
     // Reference means from the full graph, one forward pass per input.
     let mut reference: Vec<Vec<Option<f64>>> = Vec::with_capacity(graph.inputs().len());
     for &vi in graph.inputs() {
-        let arr = ssta_timing::propagate::forward(graph, &[(vi, zero.clone())])?;
+        let arr = ssta_timing::levels::forward(graph, &schedule, &[(vi, zero.clone())], 1)
+            .map_err(CoreError::Timing)?;
         reference.push(
             outputs
                 .iter()
@@ -246,7 +256,7 @@ fn repair_accuracy(
     for round in 0..max_rounds {
         let mut failing: Vec<(usize, usize)> = Vec::new();
         for (i, &vi) in graph.inputs().iter().enumerate() {
-            let arr = masked_forward(graph, vi, &zero, keep);
+            let arr = masked_forward(graph, &order, vi, &zero, keep);
             for (j, &vj) in outputs.iter().enumerate() {
                 let Some(want) = reference[i][j] else {
                     continue;
@@ -262,8 +272,9 @@ fn repair_accuracy(
         }
         let threshold = delta / 4.0f64.powi(round as i32 + 1);
         for &(i, j) in &failing {
-            let cij = crate::criticality::pair_criticalities(
+            let cij = crate::criticality::pair_criticalities_with(
                 graph,
+                &schedule,
                 &zero,
                 graph.inputs()[i],
                 outputs[j],
@@ -279,18 +290,22 @@ fn repair_accuracy(
     Ok(repaired.len())
 }
 
-/// Canonical-form forward propagation restricted to kept edges.
+/// Canonical-form forward propagation over a precomputed topological
+/// order, restricted to kept edges.
 fn masked_forward(
     graph: &TimingGraph<CanonicalForm>,
+    order: &[VertexId],
     source: VertexId,
     zero: &CanonicalForm,
     keep: &[bool],
 ) -> Vec<Option<CanonicalForm>> {
-    let order = graph.topo_order().expect("module graphs are acyclic");
     let mut arr: Vec<Option<CanonicalForm>> = vec![None; graph.vertex_bound()];
     arr[source.0 as usize] = Some(zero.clone());
-    for &v in &order {
-        let Some(at_v) = arr[v.0 as usize].clone() else {
+    for &v in order {
+        // Take instead of clone (canonical forms carry full coefficient
+        // vectors); a DAG has no self-edges, so the slot is never read
+        // while vacated.
+        let Some(at_v) = arr[v.0 as usize].take() else {
             continue;
         };
         for e in graph.out_edges(v) {
@@ -305,6 +320,7 @@ fn masked_forward(
                 None => cand,
             });
         }
+        arr[v.0 as usize] = Some(at_v);
     }
     arr
 }

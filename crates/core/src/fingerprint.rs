@@ -106,11 +106,13 @@ pub fn module_fingerprint_from_digest(
     options: &ExtractOptions,
 ) -> ModuleFingerprint {
     let mut payload = String::new();
-    // v3: the PCA eigensolver switched from cyclic Jacobi to Householder
-    // + implicit-shift QL, which changes extracted-model numerics within
-    // working precision — old store artifacts must re-key (miss once and
-    // repopulate) so warm and cold runs stay bit-identical.
-    payload.push_str("hier-ssta module fingerprint v3\n");
+    // v4: extraction's hot propagations moved to the levelized pull
+    // engine, whose fixed in-edge reduction order re-associates Clark's
+    // order-sensitive `maximum` — extracted-model numerics shift within
+    // working precision, so old store artifacts must re-key (miss once
+    // and repopulate) to keep warm and cold runs bit-identical.
+    // (v3 re-keyed for the Jacobi → Householder/QL eigensolver switch.)
+    payload.push_str("hier-ssta module fingerprint v4\n");
     payload.push_str(&structure.to_hex());
     payload.push('\n');
     payload.push_str(&serde_json::to_string(config).expect("config serializes"));

@@ -16,7 +16,7 @@ use crate::parallel::{effective_threads, try_parallel_indexed};
 use crate::params::VariableLayout;
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
-use ssta_timing::{propagate, TimingGraph, VertexId};
+use ssta_timing::{levels, LevelSchedule, TimingGraph, VertexId};
 use std::fmt;
 use std::time::Instant;
 
@@ -34,7 +34,8 @@ pub enum CorrelationMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalyzeOptions {
     /// Worker threads for the parallel assembly phases (design covariance
-    /// rows, per-instance replacement build and coefficient rewriting);
+    /// rows, per-instance replacement build and coefficient rewriting)
+    /// and for the levelized wavefront propagation of step 4;
     /// `0` uses the available parallelism, `1` forces the serial path.
     /// Every thread count produces bit-identical results.
     pub threads: usize,
@@ -149,6 +150,75 @@ pub fn analyze_with(
     options: &AnalyzeOptions,
 ) -> Result<DesignTiming, CoreError> {
     let started = Instant::now();
+    let assembled = assemble_design_graph(design, mode, options)?;
+    let threads = effective_threads(options.threads);
+    let mut phases = assembled.phases;
+    let graph = assembled.graph;
+    let n_locals = assembled.n_local_components;
+
+    // Step 4: propagate arrival times — levelized wavefronts, threaded
+    // within each level (bit-identical to serial for any thread count).
+    let propagate_started = Instant::now();
+    let sources = assembled.sources;
+    let schedule = LevelSchedule::build(&graph)?;
+    let arrivals = levels::forward(&graph, &schedule, &sources, threads)?;
+    let po_arrivals: Vec<CanonicalForm> = graph
+        .outputs()
+        .iter()
+        .map(|&v| {
+            arrivals[v.0 as usize]
+                .clone()
+                .ok_or(CoreError::Timing(ssta_timing::TimingError::NoPath))
+        })
+        .collect::<Result<_, _>>()?;
+    let delay = po_arrivals
+        .iter()
+        .skip(1)
+        .fold(po_arrivals[0].clone(), |acc, a| acc.maximum(a));
+    phases.propagate_seconds = propagate_started.elapsed().as_secs_f64();
+
+    Ok(DesignTiming {
+        mode,
+        po_arrivals,
+        delay,
+        n_local_components: n_locals,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+        phases,
+    })
+}
+
+/// The assembled design-level timing graph (Fig. 5 steps 1–3) before
+/// arrival-time propagation: the flattened instance graphs with every
+/// edge delay rewritten into the design variable space, plus the
+/// propagation sources (one zero form per design primary input).
+///
+/// Produced by [`assemble_design_graph`] for tooling that wants to run
+/// or measure propagation engines directly (e.g. the perf harness'
+/// push-vs-pull duel); [`analyze_with`] is this plus step 4.
+#[derive(Debug, Clone)]
+pub struct AssembledDesign {
+    /// The design-level timing graph.
+    pub graph: TimingGraph<CanonicalForm>,
+    /// Propagation sources: `(input vertex, zero form)` per design PI.
+    pub sources: Vec<(VertexId, CanonicalForm)>,
+    /// Total local components in the design variable space.
+    pub n_local_components: usize,
+    /// Wall-clock breakdown of the assembly phases (propagate is 0).
+    pub phases: PhaseTimings,
+}
+
+/// Builds the design-level timing graph without propagating (steps 1–3
+/// of Fig. 5): partition, design PCA, per-instance variable replacement
+/// and graph flattening, fanned out across `options.threads` workers.
+///
+/// # Errors
+///
+/// Propagates partition/PCA/graph errors.
+pub fn assemble_design_graph(
+    design: &Design,
+    mode: CorrelationMode,
+    options: &AnalyzeOptions,
+) -> Result<AssembledDesign, CoreError> {
     let threads = effective_threads(options.threads);
     let (design_layout, transforms, mut phases) = build_variable_space(design, mode, threads)?;
     let n_globals = design.config().parameters.len();
@@ -246,32 +316,12 @@ pub fn analyze_with(
         graph.mark_output(out_ports[inst][port]);
     }
 
-    // Step 4: propagate arrival times.
-    let propagate_started = Instant::now();
     let sources: Vec<(VertexId, CanonicalForm)> =
         graph.inputs().iter().map(|&v| (v, zero())).collect();
-    let arrivals = propagate::forward(&graph, &sources)?;
-    let po_arrivals: Vec<CanonicalForm> = graph
-        .outputs()
-        .iter()
-        .map(|&v| {
-            arrivals[v.0 as usize]
-                .clone()
-                .ok_or(CoreError::Timing(ssta_timing::TimingError::NoPath))
-        })
-        .collect::<Result<_, _>>()?;
-    let delay = po_arrivals
-        .iter()
-        .skip(1)
-        .fold(po_arrivals[0].clone(), |acc, a| acc.maximum(a));
-    phases.propagate_seconds = propagate_started.elapsed().as_secs_f64();
-
-    Ok(DesignTiming {
-        mode,
-        po_arrivals,
-        delay,
+    Ok(AssembledDesign {
+        graph,
+        sources,
         n_local_components: n_locals,
-        elapsed_seconds: started.elapsed().as_secs_f64(),
         phases,
     })
 }

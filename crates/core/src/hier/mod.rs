@@ -23,7 +23,8 @@ pub mod partition;
 pub mod replace;
 
 pub use analysis::{
-    analyze, analyze_with, AnalyzeOptions, CorrelationMode, DesignTiming, PhaseTimings,
+    analyze, analyze_with, assemble_design_graph, AnalyzeOptions, AssembledDesign, CorrelationMode,
+    DesignTiming, PhaseTimings,
 };
 pub use design::{Connection, Design, DesignBuilder, Instance};
 pub use partition::DesignPartition;

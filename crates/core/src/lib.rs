@@ -74,8 +74,8 @@ pub use fingerprint::{
     NetlistDigest,
 };
 pub use hier::{
-    analyze, analyze_with, AnalyzeOptions, CorrelationMode, Design, DesignBuilder, DesignTiming,
-    PhaseTimings,
+    analyze, analyze_with, assemble_design_graph, AnalyzeOptions, AssembledDesign, CorrelationMode,
+    Design, DesignBuilder, DesignTiming, PhaseTimings,
 };
 pub use module::ModuleContext;
 pub use params::{ParameterSpec, SstaConfig, VariableLayout};

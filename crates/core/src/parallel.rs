@@ -1,111 +1,10 @@
-//! Deterministic fork-join helpers shared by the design-level assembly
-//! and the engine's pipeline.
+//! Deterministic fork-join helpers — re-exported from
+//! [`ssta_math::parallel`].
 //!
-//! Everything here preserves the repo's bit-exactness invariant: results
-//! are returned in index order and each index's computation is
-//! independent, so any thread count (including 1) produces bit-identical
-//! output. Callers split one thread budget across fan-out levels (see
-//! the engine's batch scheduler) instead of nesting unbounded pools.
+//! The helpers were hoisted below the timing crate so that levelized
+//! propagation ([`ssta_timing::levels`]) can thread wavefronts with the
+//! same machinery the assembly and engine pipelines use. This module
+//! keeps the historical `ssta_core::parallel` paths working; new code
+//! can import from either place.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Resolves a thread-count option: `0` means available parallelism,
-/// anything else is taken literally (`1` forces the serial path).
-pub fn effective_threads(threads: usize) -> usize {
-    match threads {
-        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
-        n => n,
-    }
-}
-
-/// Runs `run(i)` for `i in 0..n` across up to `workers` crossbeam scoped
-/// threads, returning results in index order. `workers <= 1` runs inline.
-/// Work is distributed by an atomic cursor, so uneven per-index cost
-/// (e.g. upper-triangle covariance rows) balances automatically; the
-/// index order of results (and therefore every fold over them) is
-/// deterministic regardless of scheduling.
-pub fn parallel_indexed<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = workers.min(n);
-    if workers <= 1 {
-        return (0..n).map(run).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = run(i);
-                *slots[i].lock().expect("result slot") = Some(result);
-            });
-        }
-    })
-    .expect("worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every index ran")
-        })
-        .collect()
-}
-
-/// [`parallel_indexed`] over fallible work: runs every index, then
-/// returns the first error in *index* order (not completion order), so
-/// failures are as deterministic as successes.
-///
-/// # Errors
-///
-/// The lowest-index `Err` produced by `run`.
-pub fn try_parallel_indexed<T, E, F>(n: usize, workers: usize, run: F) -> Result<Vec<T>, E>
-where
-    T: Send,
-    E: Send,
-    F: Fn(usize) -> Result<T, E> + Sync,
-{
-    parallel_indexed(n, workers, run).into_iter().collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_are_in_index_order_for_any_worker_count() {
-        let want: Vec<usize> = (0..97).map(|i| i * i).collect();
-        for workers in [1, 2, 3, 8, 200] {
-            let got = parallel_indexed(97, workers, |i| i * i);
-            assert_eq!(got, want, "workers = {workers}");
-        }
-    }
-
-    #[test]
-    fn zero_items_yield_empty() {
-        let got: Vec<usize> = parallel_indexed(0, 8, |i| i);
-        assert!(got.is_empty());
-    }
-
-    #[test]
-    fn try_variant_reports_first_error_by_index() {
-        let r: Result<Vec<usize>, usize> =
-            try_parallel_indexed(10, 4, |i| if i % 3 == 2 { Err(i) } else { Ok(i) });
-        assert_eq!(r, Err(2));
-        let ok: Result<Vec<usize>, usize> = try_parallel_indexed(10, 4, Ok);
-        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn effective_threads_resolves_zero() {
-        assert!(effective_threads(0) >= 1);
-        assert_eq!(effective_threads(3), 3);
-    }
-}
+pub use ssta_math::parallel::{effective_threads, parallel_indexed, try_parallel_indexed};

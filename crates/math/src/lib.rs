@@ -24,6 +24,10 @@
 //! * [`stats`] — streaming summaries, histograms, empirical distributions
 //!   and Kolmogorov–Smirnov distances used to compare analytical SSTA
 //!   results against Monte Carlo ground truth.
+//! * [`parallel`] — deterministic fork-join helpers (index-ordered
+//!   results, bit-identical for every worker count) shared by the
+//!   levelized timing propagation, the design-level assembly and the
+//!   engine pipeline.
 //! * [`rng`] — seedable standard-normal sampling helpers.
 //! * [`codec`] — varint/byte-stream primitives for the deterministic
 //!   binary model codec (`ssta-core` builds the model layout on top;
@@ -56,6 +60,7 @@ pub mod codec;
 pub mod digest;
 pub mod eigen;
 pub mod gaussian;
+pub mod parallel;
 pub mod pca;
 pub mod rng;
 pub mod stats;

@@ -5,8 +5,16 @@
 //! module computes that matrix with one forward propagation per input —
 //! the same "PERT-like" traversal the paper uses — generically over the
 //! delay algebra.
+//!
+//! All passes share one [`LevelSchedule`]: the graph is levelized once,
+//! not once per input (the extraction cold path used to pay
+//! `O(inputs × (V + E))` in redundant topological sorting). The
+//! per-input passes are independent, so [`delay_matrix_with`] fans them
+//! out across workers with bit-identical, index-ordered rows.
 
-use crate::{propagate, DelayAlgebra, TimingError, TimingGraph};
+use crate::levels::{self, LevelSchedule};
+use crate::{DelayAlgebra, TimingError, TimingGraph};
+use ssta_math::parallel::try_parallel_indexed;
 
 /// The `m × n` matrix of maximum input-to-output delays.
 ///
@@ -77,23 +85,51 @@ impl<D: DelayAlgebra> DelayMatrix<D> {
 /// Computes the full input/output delay matrix: one forward propagation
 /// per input, starting from the value produced by `zero` (the additive
 /// identity of the delay algebra, e.g. `0.0` or a constant-zero canonical
-/// form).
+/// form). The graph is levelized once and the schedule shared across all
+/// inputs; passes run serially — use [`delay_matrix_with`] to reuse an
+/// existing schedule and fan the inputs out across workers.
 ///
 /// # Errors
 ///
 /// Returns [`TimingError::CyclicGraph`] for cyclic graphs.
-pub fn delay_matrix<D: DelayAlgebra>(
+pub fn delay_matrix<D: DelayAlgebra + Send + Sync>(
     graph: &TimingGraph<D>,
-    mut zero: impl FnMut() -> D,
+    zero: impl Fn() -> D + Sync,
+) -> Result<DelayMatrix<D>, TimingError> {
+    let schedule = LevelSchedule::build(graph)?;
+    delay_matrix_with(graph, &schedule, zero, 1)
+}
+
+/// [`delay_matrix`] over a prebuilt [`LevelSchedule`], with the
+/// independent per-input passes distributed across `workers` threads
+/// (each pass itself runs serially — the parallelism is one level up,
+/// where it is embarrassingly parallel). Rows come back in input order,
+/// so results are bit-identical for every worker count.
+///
+/// # Errors
+///
+/// Returns [`TimingError::StaleSchedule`] when `schedule` does not match
+/// the graph's current shape.
+pub fn delay_matrix_with<D: DelayAlgebra + Send + Sync>(
+    graph: &TimingGraph<D>,
+    schedule: &LevelSchedule,
+    zero: impl Fn() -> D + Sync,
+    workers: usize,
 ) -> Result<DelayMatrix<D>, TimingError> {
     let inputs = graph.inputs().to_vec();
     let outputs = graph.outputs().to_vec();
-    let mut entries: Vec<Option<D>> = vec![None; inputs.len() * outputs.len()];
-    for (i, &vi) in inputs.iter().enumerate() {
-        let arrival = propagate::forward(graph, &[(vi, zero())])?;
-        for (j, &vj) in outputs.iter().enumerate() {
-            entries[i * outputs.len() + j] = arrival[vj.0 as usize].clone();
-        }
+    let rows: Vec<Vec<Option<D>>> = try_parallel_indexed(inputs.len(), workers, |i| {
+        let arrival = levels::forward(graph, schedule, &[(inputs[i], zero())], 1)?;
+        Ok::<_, TimingError>(
+            outputs
+                .iter()
+                .map(|&vj| arrival[vj.0 as usize].clone())
+                .collect(),
+        )
+    })?;
+    let mut entries: Vec<Option<D>> = Vec::with_capacity(inputs.len() * outputs.len());
+    for row in rows {
+        entries.extend(row);
     }
     Ok(DelayMatrix {
         n_inputs: inputs.len(),
@@ -173,6 +209,27 @@ mod tests {
         let m2 = delay_matrix(&g2, || 0.0).unwrap();
         let (_, mismatched) = m1.compare_with(&m2, |&d| d);
         assert_eq!(mismatched, 1);
+    }
+
+    #[test]
+    fn one_schedule_build_per_matrix() {
+        // The historical bug: every per-input pass re-ran Kahn's
+        // algorithm. The matrix must levelize exactly once.
+        let g = two_by_two();
+        let before = crate::levels::schedule_builds();
+        let _ = delay_matrix(&g, || 0.0).unwrap();
+        assert_eq!(crate::levels::schedule_builds(), before + 1);
+    }
+
+    #[test]
+    fn threaded_matrix_is_bit_identical_to_serial() {
+        let g = two_by_two();
+        let schedule = crate::LevelSchedule::build(&g).unwrap();
+        let serial = delay_matrix_with(&g, &schedule, || 0.0, 1).unwrap();
+        for workers in [2, 4, 8] {
+            let par = delay_matrix_with(&g, &schedule, || 0.0, workers).unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
+        }
     }
 
     #[test]

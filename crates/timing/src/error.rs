@@ -24,6 +24,10 @@ pub enum TimingError {
         /// The first inconsistency found.
         reason: String,
     },
+    /// A [`LevelSchedule`](crate::levels::LevelSchedule) was used with a
+    /// graph whose shape no longer matches the one it was built from
+    /// (the graph was mutated after levelization).
+    StaleSchedule,
 }
 
 impl fmt::Display for TimingError {
@@ -38,6 +42,12 @@ impl fmt::Display for TimingError {
             TimingError::NoPath => write!(f, "no input-to-output path exists"),
             TimingError::InvalidGraph { reason } => {
                 write!(f, "invalid raw graph parts: {reason}")
+            }
+            TimingError::StaleSchedule => {
+                write!(
+                    f,
+                    "level schedule no longer matches the graph it was built from"
+                )
             }
         }
     }

@@ -1,0 +1,540 @@
+//! Levelized (wavefront) propagation.
+//!
+//! [`propagate`](crate::propagate) re-runs Kahn's algorithm on every
+//! invocation and pushes values along out-edges in topological order —
+//! fine for one pass, wasteful for the many passes model extraction and
+//! criticality run over one graph (one forward per input, one backward
+//! per output), and inherently serial because successive vertices race
+//! on their common fan-out slots.
+//!
+//! This module computes a [`LevelSchedule`] **once** per graph — Kahn
+//! level assignment, CSR-flattened in/out adjacency and per-level vertex
+//! ranges — and reuses it across every pass. [`forward`]/[`backward`]
+//! are *pull*-based: each vertex reduces over its own in-edges (out-edges
+//! for backward) in fixed edge-index order, so vertices within one level
+//! are independent and a level can be fanned out across threads with the
+//! result **bit-identical to the serial pass for every worker count** —
+//! the reduction order per vertex never depends on scheduling.
+//!
+//! Two propagation orders, one caveat: for scalar (`f64`) delays pull
+//! and push produce bit-identical results (`max`/`+` over the same path
+//! sets). For canonical forms, Clark's `maximum` is order-sensitive, so
+//! pull-based results differ from push-based ones *within working
+//! precision* — equivalent as distributions, not as bits. Model
+//! extraction therefore re-keys its store artifacts when switching
+//! engines (see the module fingerprint header).
+
+use crate::{DelayAlgebra, TimingError, TimingGraph, VertexId};
+use ssta_math::parallel::parallel_indexed;
+use std::cell::Cell;
+
+thread_local! {
+    static BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`LevelSchedule`]s built **on the calling thread** since it
+/// started — a diagnostic counter for regression tests that pin how many
+/// times a hot path re-levelizes (the answer should be once per graph,
+/// not once per propagation).
+pub fn schedule_builds() -> u64 {
+    BUILDS.with(Cell::get)
+}
+
+/// Fan a level out across workers only when it is wide enough to pay for
+/// the scoped-thread setup; correctness never depends on this (each
+/// vertex's reduction is self-contained), only wall-clock does.
+const MIN_PARALLEL_WIDTH: usize = 8;
+
+/// A reusable propagation schedule: Kahn level assignment plus
+/// CSR-flattened adjacency, computed once per graph.
+///
+/// The schedule borrows nothing — it snapshots the graph's structure by
+/// id — but it is only valid for the exact graph state it was built
+/// from. Mutating the graph (adding/removing vertices or edges)
+/// invalidates it; [`forward`]/[`backward`] reject schedules whose
+/// shape counters disagree with the graph.
+#[derive(Debug, Clone)]
+pub struct LevelSchedule {
+    vertex_bound: usize,
+    n_live_vertices: usize,
+    n_live_edges: usize,
+    /// Live vertices in level-major order, ascending id within a level.
+    order: Vec<u32>,
+    /// `order[level_offsets[l]..level_offsets[l + 1]]` is level `l`.
+    level_offsets: Vec<u32>,
+    /// CSR in-adjacency: `(edge id, source vertex)` per live vertex slot,
+    /// in the graph's fixed edge-index order.
+    in_offsets: Vec<u32>,
+    in_arcs: Vec<(u32, u32)>,
+    /// CSR out-adjacency: `(edge id, sink vertex)` per live vertex slot.
+    out_offsets: Vec<u32>,
+    out_arcs: Vec<(u32, u32)>,
+}
+
+impl LevelSchedule {
+    /// Levelizes a graph: Kahn's algorithm assigns each live vertex the
+    /// length of its longest incoming edge chain, and the adjacency is
+    /// flattened into CSR form for the propagation inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::CyclicGraph`] for cyclic graphs.
+    pub fn build<D: DelayAlgebra>(graph: &TimingGraph<D>) -> Result<Self, TimingError> {
+        BUILDS.with(|b| b.set(b.get() + 1));
+        let bound = graph.vertex_bound();
+        let n_live = graph.n_vertices();
+
+        // CSR adjacency in the graph's edge-index order (the same order
+        // the push-based reference traverses fan-outs in).
+        let mut in_offsets = Vec::with_capacity(bound + 1);
+        let mut out_offsets = Vec::with_capacity(bound + 1);
+        let mut in_arcs = Vec::with_capacity(graph.n_edges());
+        let mut out_arcs = Vec::with_capacity(graph.n_edges());
+        in_offsets.push(0);
+        out_offsets.push(0);
+        for slot in 0..bound {
+            let v = VertexId(slot as u32);
+            if graph.is_alive(v) {
+                for e in graph.in_edges(v) {
+                    in_arcs.push((e.0, graph.edge(e).from.0));
+                }
+                for e in graph.out_edges(v) {
+                    out_arcs.push((e.0, graph.edge(e).to.0));
+                }
+            }
+            in_offsets.push(in_arcs.len() as u32);
+            out_offsets.push(out_arcs.len() as u32);
+        }
+
+        // Kahn level assignment: level(v) = longest in-chain length.
+        let mut indeg: Vec<u32> = (0..bound)
+            .map(|i| in_offsets[i + 1] - in_offsets[i])
+            .collect();
+        let mut level = vec![0u32; bound];
+        let mut queue: Vec<u32> = (0..bound as u32)
+            .filter(|&i| graph.is_alive(VertexId(i)) && indeg[i as usize] == 0)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(v) = queue.pop() {
+            processed += 1;
+            let lv = level[v as usize];
+            for &(_, w) in
+                &out_arcs[out_offsets[v as usize] as usize..out_offsets[v as usize + 1] as usize]
+            {
+                let w = w as usize;
+                if level[w] < lv + 1 {
+                    level[w] = lv + 1;
+                }
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w as u32);
+                }
+            }
+        }
+        if processed != n_live {
+            return Err(TimingError::CyclicGraph);
+        }
+
+        // Bucket live vertices by level, ascending id within a level.
+        let n_levels = (0..bound)
+            .filter(|&i| graph.is_alive(VertexId(i as u32)))
+            .map(|i| level[i] as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0u32; n_levels];
+        for i in 0..bound {
+            if graph.is_alive(VertexId(i as u32)) {
+                widths[level[i] as usize] += 1;
+            }
+        }
+        let mut level_offsets = Vec::with_capacity(n_levels + 1);
+        level_offsets.push(0u32);
+        for w in &widths {
+            level_offsets.push(level_offsets.last().unwrap() + w);
+        }
+        let mut cursor: Vec<u32> = level_offsets[..n_levels].to_vec();
+        let mut order = vec![0u32; n_live];
+        for (i, &l) in level.iter().enumerate() {
+            if graph.is_alive(VertexId(i as u32)) {
+                let l = l as usize;
+                order[cursor[l] as usize] = i as u32;
+                cursor[l] += 1;
+            }
+        }
+
+        Ok(LevelSchedule {
+            vertex_bound: bound,
+            n_live_vertices: n_live,
+            n_live_edges: graph.n_edges(),
+            order,
+            level_offsets,
+            in_offsets,
+            in_arcs,
+            out_offsets,
+            out_arcs,
+        })
+    }
+
+    /// Number of levels (0 for an empty graph).
+    pub fn n_levels(&self) -> usize {
+        self.level_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of live vertices scheduled.
+    pub fn n_scheduled(&self) -> usize {
+        self.n_live_vertices
+    }
+
+    /// The widest level's vertex count (the available wavefront
+    /// parallelism).
+    pub fn max_width(&self) -> usize {
+        (0..self.n_levels())
+            .map(|l| self.level_range(l).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The vertex ids of level `l` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= n_levels()`.
+    pub fn level_range(&self, l: usize) -> &[u32] {
+        &self.order[self.level_offsets[l] as usize..self.level_offsets[l + 1] as usize]
+    }
+
+    /// In-arcs `(edge id, source vertex)` of `v` in fixed edge-index
+    /// order.
+    fn in_arcs_of(&self, v: usize) -> &[(u32, u32)] {
+        &self.in_arcs[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Out-arcs `(edge id, sink vertex)` of `v` in fixed edge-index
+    /// order.
+    fn out_arcs_of(&self, v: usize) -> &[(u32, u32)] {
+        &self.out_arcs[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// Rejects use against a graph whose shape no longer matches the one
+    /// this schedule was built from.
+    fn ensure_matches<D: DelayAlgebra>(&self, graph: &TimingGraph<D>) -> Result<(), TimingError> {
+        if graph.vertex_bound() != self.vertex_bound
+            || graph.n_vertices() != self.n_live_vertices
+            || graph.n_edges() != self.n_live_edges
+        {
+            return Err(TimingError::StaleSchedule);
+        }
+        Ok(())
+    }
+}
+
+/// Folds the `(vertex, initial)` pairs into a per-slot seed array; a
+/// vertex listed twice keeps the max of its initial values (matching the
+/// push-based reference).
+fn seed<D: DelayAlgebra>(bound: usize, pairs: &[(VertexId, D)]) -> Vec<Option<D>> {
+    let mut seeds: Vec<Option<D>> = vec![None; bound];
+    for (v, init) in pairs {
+        let slot = &mut seeds[v.0 as usize];
+        *slot = Some(match slot.take() {
+            Some(prev) => prev.maximum(init),
+            None => init.clone(),
+        });
+    }
+    seeds
+}
+
+/// Pull-reduction for one vertex of a forward pass: seed value first,
+/// then each in-edge's `arrival[from] + delay` in fixed edge-index
+/// order. No per-vertex clone of propagated values — the accumulator is
+/// built from the first contribution and updated in place.
+fn reduce_forward<D: DelayAlgebra>(
+    graph: &TimingGraph<D>,
+    schedule: &LevelSchedule,
+    arrival: &[Option<D>],
+    v: usize,
+) -> Option<D> {
+    let mut acc: Option<D> = arrival[v].clone();
+    for &(e, from) in schedule.in_arcs_of(v) {
+        if let Some(a) = &arrival[from as usize] {
+            let cand = a.sum(&graph.edge(crate::EdgeId(e)).delay);
+            acc = Some(match acc {
+                Some(prev) => prev.maximum(&cand),
+                None => cand,
+            });
+        }
+    }
+    acc
+}
+
+/// Pull-reduction for one vertex of a backward pass: seed (sink) value
+/// first, then each out-edge's `delay + required[to]` in fixed
+/// edge-index order.
+fn reduce_backward<D: DelayAlgebra>(
+    graph: &TimingGraph<D>,
+    schedule: &LevelSchedule,
+    required: &[Option<D>],
+    v: usize,
+) -> Option<D> {
+    let mut acc: Option<D> = required[v].clone();
+    for &(e, to) in schedule.out_arcs_of(v) {
+        if let Some(r) = &required[to as usize] {
+            let cand = graph.edge(crate::EdgeId(e)).delay.sum(r);
+            acc = Some(match acc {
+                Some(prev) => prev.maximum(&cand),
+                None => cand,
+            });
+        }
+    }
+    acc
+}
+
+/// Runs one wavefront: computes `reduce(v)` for every vertex of the
+/// level and scatters the results. All reads go to earlier-processed
+/// levels (plus the vertex's own seed), so the level can fan out across
+/// `workers` threads with bit-identical results.
+fn run_level<D, F>(level: &[u32], values: &mut [Option<D>], workers: usize, reduce: F)
+where
+    D: DelayAlgebra + Send + Sync,
+    F: Fn(&[Option<D>], usize) -> Option<D> + Sync,
+{
+    if workers > 1 && level.len() >= MIN_PARALLEL_WIDTH {
+        let shared: &[Option<D>] = values;
+        let results = parallel_indexed(level.len(), workers, |i| reduce(shared, level[i] as usize));
+        for (&v, r) in level.iter().zip(results) {
+            if r.is_some() {
+                values[v as usize] = r;
+            }
+        }
+    } else {
+        for &v in level {
+            if let Some(r) = reduce(values, v as usize) {
+                values[v as usize] = Some(r);
+            }
+        }
+    }
+}
+
+/// Arrival times from the given `(vertex, initial)` sources, level by
+/// level. Semantics match [`propagate::forward`](crate::propagate::forward)
+/// (`None` = unreachable, duplicate sources keep the max); the reduction
+/// is pull-ordered, so canonical-form results agree with the push-based
+/// reference within working precision, not bit-for-bit. Results are
+/// bit-identical across all `workers` counts, including 1.
+///
+/// # Errors
+///
+/// Returns [`TimingError::StaleSchedule`] when `schedule` was built from
+/// a different graph state.
+///
+/// # Panics
+///
+/// Panics if a source vertex id is out of range.
+pub fn forward<D: DelayAlgebra + Send + Sync>(
+    graph: &TimingGraph<D>,
+    schedule: &LevelSchedule,
+    sources: &[(VertexId, D)],
+    workers: usize,
+) -> Result<Vec<Option<D>>, TimingError> {
+    schedule.ensure_matches(graph)?;
+    let mut arrival = seed(schedule.vertex_bound, sources);
+    for l in 0..schedule.n_levels() {
+        run_level(
+            schedule.level_range(l),
+            &mut arrival,
+            workers,
+            |values, v| reduce_forward(graph, schedule, values, v),
+        );
+    }
+    Ok(arrival)
+}
+
+/// Max delay from each vertex to the given `(vertex, initial)` sinks,
+/// level by level in reverse. The per-vertex reduction order (seed
+/// first, then out-edges in edge-index order) matches the push-based
+/// [`propagate::backward`](crate::propagate::backward) exactly, so
+/// serial results are bit-identical to it for every delay algebra; the
+/// threaded results are bit-identical to serial for all `workers`
+/// counts.
+///
+/// # Errors
+///
+/// Returns [`TimingError::StaleSchedule`] when `schedule` was built from
+/// a different graph state.
+///
+/// # Panics
+///
+/// Panics if a sink vertex id is out of range.
+pub fn backward<D: DelayAlgebra + Send + Sync>(
+    graph: &TimingGraph<D>,
+    schedule: &LevelSchedule,
+    sinks: &[(VertexId, D)],
+    workers: usize,
+) -> Result<Vec<Option<D>>, TimingError> {
+    schedule.ensure_matches(graph)?;
+    let mut required = seed(schedule.vertex_bound, sinks);
+    for l in (0..schedule.n_levels()).rev() {
+        run_level(
+            schedule.level_range(l),
+            &mut required,
+            workers,
+            |values, v| reduce_backward(graph, schedule, values, v),
+        );
+    }
+    Ok(required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate;
+
+    /// in --1--> a --3--> out
+    ///   \--2--> b --1--> out
+    fn diamond() -> (TimingGraph<f64>, [VertexId; 4]) {
+        let mut g = TimingGraph::new();
+        let i = g.add_input();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        g.add_edge(i, a, 1.0);
+        g.add_edge(i, b, 2.0);
+        g.add_edge(a, o, 3.0);
+        g.add_edge(b, o, 1.0);
+        (g, [i, a, b, o])
+    }
+
+    #[test]
+    fn schedule_shape_on_diamond() {
+        let (g, _) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        assert_eq!(s.n_levels(), 3);
+        assert_eq!(s.n_scheduled(), 4);
+        assert_eq!(s.max_width(), 2);
+        assert_eq!(s.level_range(0), &[0]);
+        assert_eq!(s.level_range(1), &[1, 2]);
+        assert_eq!(s.level_range(2), &[3]);
+    }
+
+    #[test]
+    fn forward_matches_push_reference_exactly_for_scalars() {
+        let (g, [i, ..]) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        let push = propagate::forward(&g, &[(i, 0.0)]).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let pull = forward(&g, &s, &[(i, 0.0)], workers).unwrap();
+            assert_eq!(pull, push, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_push_reference_exactly_for_scalars() {
+        let (g, [.., o]) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        let push = propagate::backward(&g, &[(o, 0.0)]).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let pull = backward(&g, &s, &[(o, 0.0)], workers).unwrap();
+            assert_eq!(pull, push, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_and_offsets_match_reference() {
+        let (g, [i, _, _, o]) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        let pull = forward(&g, &s, &[(i, 0.0), (i, 5.0)], 1).unwrap();
+        assert_eq!(pull[o.0 as usize], Some(9.0));
+        let pull = forward(&g, &s, &[(i, 10.0)], 1).unwrap();
+        assert_eq!(pull[o.0 as usize], Some(14.0));
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_none() {
+        let (g, [_, a, b, o]) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        let arr = forward(&g, &s, &[(a, 0.0)], 1).unwrap();
+        assert_eq!(arr[b.0 as usize], None);
+        assert_eq!(arr[o.0 as usize], Some(3.0));
+    }
+
+    #[test]
+    fn cycle_is_detected_at_build() {
+        let mut g: TimingGraph<f64> = TimingGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, a, 1.0);
+        assert!(matches!(
+            LevelSchedule::build(&g),
+            Err(TimingError::CyclicGraph)
+        ));
+    }
+
+    #[test]
+    fn stale_schedule_is_rejected() {
+        let (mut g, [i, a, ..]) = diamond();
+        let s = LevelSchedule::build(&g).unwrap();
+        let e = g.out_edges(i).next().unwrap();
+        g.remove_edge(e);
+        assert_eq!(
+            forward(&g, &s, &[(i, 0.0)], 1),
+            Err(TimingError::StaleSchedule)
+        );
+        assert_eq!(
+            backward(&g, &s, &[(a, 0.0)], 1),
+            Err(TimingError::StaleSchedule)
+        );
+    }
+
+    #[test]
+    fn schedule_handles_tombstoned_graphs() {
+        let (mut g, [i, a, b, o]) = diamond();
+        // Remove the i -> b edge and then b itself once isolated.
+        let to_b: Vec<_> = g
+            .edges_iter()
+            .filter(|(_, e)| e.from == b || e.to == b)
+            .map(|(id, _)| id)
+            .collect();
+        for e in to_b {
+            g.remove_edge(e);
+        }
+        g.remove_vertex(b);
+        let s = LevelSchedule::build(&g).unwrap();
+        assert_eq!(s.n_scheduled(), 3);
+        let arr = forward(&g, &s, &[(i, 0.0)], 1).unwrap();
+        assert_eq!(arr[b.0 as usize], None);
+        assert_eq!(arr[a.0 as usize], Some(1.0));
+        assert_eq!(arr[o.0 as usize], Some(4.0));
+    }
+
+    #[test]
+    fn build_counter_increments_on_this_thread() {
+        let before = schedule_builds();
+        let (g, _) = diamond();
+        let _ = LevelSchedule::build(&g).unwrap();
+        let _ = LevelSchedule::build(&g).unwrap();
+        assert_eq!(schedule_builds(), before + 2);
+    }
+
+    #[test]
+    fn wide_levels_run_identically_across_worker_counts() {
+        // One input fanning out to 64 parallel vertices, all joining on
+        // one output — a single wide level exercising the parallel path.
+        let mut g: TimingGraph<f64> = TimingGraph::new();
+        let i = g.add_input();
+        let o_mid: Vec<VertexId> = (0..64).map(|_| g.add_vertex()).collect();
+        let o = g.add_vertex();
+        g.mark_output(o);
+        for (k, &m) in o_mid.iter().enumerate() {
+            g.add_edge(i, m, 1.0 + k as f64);
+            g.add_edge(m, o, 0.5);
+        }
+        let s = LevelSchedule::build(&g).unwrap();
+        assert_eq!(s.max_width(), 64);
+        let serial = forward(&g, &s, &[(i, 0.0)], 1).unwrap();
+        for workers in [2, 4, 8] {
+            assert_eq!(forward(&g, &s, &[(i, 0.0)], workers).unwrap(), serial);
+        }
+        assert_eq!(serial[o.0 as usize], Some(64.5));
+    }
+}

@@ -10,8 +10,13 @@
 //! * [`TimingGraph`] — a multi-edge DAG with designated input/output
 //!   vertices, tombstone-based edge removal (model extraction rewrites the
 //!   graph heavily) and netlist import;
-//! * [`propagate`] — forward (arrival-time) and backward (required-time)
-//!   longest-path propagation in topological order;
+//! * [`propagate`] — push-based forward (arrival-time) and backward
+//!   (required-time) longest-path propagation in topological order (the
+//!   reference engine);
+//! * [`levels`] — the levelized wavefront engine: a [`LevelSchedule`]
+//!   (Kahn levels + CSR adjacency) computed once per graph and reused
+//!   across every pull-based forward/backward pass, with within-level
+//!   threading that is bit-identical to serial for any worker count;
 //! * [`allpairs`] — the per-input/per-output traversals of Sapatnekar
 //!   (ISCAS'96) producing the input/output [`DelayMatrix`] that timing
 //!   models must preserve;
@@ -42,6 +47,7 @@ mod error;
 mod graph;
 
 pub mod allpairs;
+pub mod levels;
 pub mod propagate;
 pub mod sta;
 
@@ -49,3 +55,4 @@ pub use allpairs::DelayMatrix;
 pub use delay::DelayAlgebra;
 pub use error::TimingError;
 pub use graph::{ArcContext, Edge, EdgeId, RawGraphParts, TimingGraph, VertexId, VertexKind};
+pub use levels::LevelSchedule;

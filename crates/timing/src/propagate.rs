@@ -1,4 +1,5 @@
-//! Longest-path propagation in topological order.
+//! Push-based longest-path propagation in topological order — the
+//! reference engine.
 //!
 //! `forward` computes arrival times (max delay from a set of sources);
 //! `backward` computes the max delay *to* a set of sinks (the negated
@@ -8,6 +9,14 @@
 //!
 //! Both are generic over [`DelayAlgebra`], so the same code path serves
 //! scalar STA and canonical-form SSTA.
+//!
+//! Each call re-runs Kahn's algorithm, so hot paths that run many passes
+//! over one graph (all-pairs extraction, criticality) use the levelized
+//! engine in [`levels`](crate::levels) instead: it computes one
+//! [`LevelSchedule`](crate::levels::LevelSchedule) per graph and
+//! propagates pull-based, level by level, optionally threaded. These
+//! functions remain the order-sensitive oracle the levelized engine is
+//! cross-checked against.
 
 use crate::{DelayAlgebra, TimingError, TimingGraph, VertexId};
 
@@ -34,7 +43,10 @@ pub fn forward<D: DelayAlgebra>(
         });
     }
     for &v in &order {
-        let Some(at_v) = arrival[v.0 as usize].clone() else {
+        // Take the value out instead of cloning it (a canonical form
+        // clones a full coefficient vector); a DAG has no self-edges, so
+        // the slot is never read while it is vacated.
+        let Some(at_v) = arrival[v.0 as usize].take() else {
             continue;
         };
         for e in graph.out_edges(v) {
@@ -46,6 +58,7 @@ pub fn forward<D: DelayAlgebra>(
                 None => cand,
             });
         }
+        arrival[v.0 as usize] = Some(at_v);
     }
     Ok(arrival)
 }
@@ -70,8 +83,9 @@ pub fn backward<D: DelayAlgebra>(
         });
     }
     for &v in order.iter().rev() {
-        // max over out-edges of (required[to] + delay).
-        let mut best: Option<D> = required[v.0 as usize].clone();
+        // max over out-edges of (required[to] + delay). Taking the seed
+        // out avoids a per-vertex clone; no self-edges in a DAG.
+        let mut best: Option<D> = required[v.0 as usize].take();
         for e in graph.out_edges(v) {
             let edge = graph.edge(e);
             if let Some(r) = &required[edge.to.0 as usize] {

@@ -1,7 +1,8 @@
 //! Minimal offline stand-in for `proptest`: deterministic random-input
 //! testing without shrinking. Supports the subset this workspace uses —
-//! range strategies over `f64`/integers, `collection::vec`, tuple
-//! strategies, `prop_map`, the `proptest!` macro with an optional
+//! range strategies over `f64`/integers, `collection::vec` (fixed or
+//! ranged lengths), tuple strategies, `Just`, `prop_map`,
+//! `prop_flat_map`, the `proptest!` macro with an optional
 //! `#![proptest_config(...)]` header, and the `prop_assert*` family.
 //!
 //! Failing cases are reported with their case index and the generator is
@@ -83,6 +84,15 @@ pub trait Strategy {
     {
         Map { strategy: self, f }
     }
+
+    /// Maps generated values into a dependent strategy (e.g. draw a size
+    /// first, then a collection of that size).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { strategy: self, f }
+    }
 }
 
 /// The [`Strategy::prop_map`] adapter.
@@ -96,6 +106,32 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.strategy.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
     }
 }
 
@@ -144,30 +180,65 @@ impl_tuple_strategy! {
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
+    use std::ops::Range;
 
-    /// Strategy for fixed-length vectors of `element` draws.
-    pub fn vec<S: Strategy>(element: S, size: usize) -> VecStrategy<S> {
-        VecStrategy { element, size }
+    /// A vector length specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive; start + 1 for fixed sizes
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` draws; `size` is a fixed length
+    /// or a half-open range of lengths.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
-        size: usize,
+        size: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (0..self.size).map(|_| self.element.generate(rng)).collect()
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
 }
 
 /// The glob-import surface tests use.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
 }
 
 /// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
@@ -272,6 +343,19 @@ mod tests {
         fn vec_and_map_compose(v in crate::collection::vec(0.0..1.0f64, 8)) {
             prop_assert_eq!(v.len(), 8);
             prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn ranged_vec_lengths_stay_in_range(v in crate::collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()), "len = {}", v.len());
+        }
+
+        #[test]
+        fn flat_map_draws_dependent_sizes(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(Just(n), n))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x == v.len()));
         }
 
         #[test]
