@@ -42,6 +42,10 @@ use std::time::Instant;
 struct Report {
     schema: u32,
     profile: String,
+    /// Resolved worker count the parallel rows ran with
+    /// (`effective_threads(0)`) — without it, speedups from different
+    /// machines are not comparable.
+    effective_threads: usize,
     eigen: EigenDuel,
     assembly: Vec<ScalingPoint>,
 }
@@ -174,8 +178,9 @@ fn main() {
     };
     let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     let report = Report {
-        schema: 3,
+        schema: 4,
         profile: if tiny { "tiny" } else { "full" }.into(),
+        effective_threads: ssta_core::parallel::effective_threads(0),
         eigen: duel,
         assembly: points,
     };

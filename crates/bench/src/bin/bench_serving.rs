@@ -45,6 +45,9 @@ struct Report {
     schema: u32,
     profile: String,
     workers: usize,
+    /// The pool size the profile's `workers` request resolved to
+    /// (`effective_threads`), which is what actually served requests.
+    effective_threads: usize,
     module: String,
     instances: usize,
     distinct_fingerprints: usize,
@@ -203,9 +206,10 @@ fn main() {
     };
     let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     let report = Report {
-        schema: 1,
+        schema: 2,
         profile: if tiny { "tiny" } else { "full" }.into(),
         workers: profile.workers,
+        effective_threads: ssta_core::parallel::effective_threads(profile.workers),
         module: profile.module.into(),
         instances: profile.instances,
         distinct_fingerprints: 1,

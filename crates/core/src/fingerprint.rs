@@ -97,6 +97,30 @@ pub fn netlist_digest(netlist: &Netlist) -> NetlistDigest {
     NetlistDigest(sha256(payload.as_bytes()))
 }
 
+/// Serializes the netlist-independent half of the fingerprint payload:
+/// the configuration plus the semantic extraction options. Shared by
+/// [`module_fingerprint_from_digest`] and [`extraction_signature`] so
+/// the two can never disagree about which knobs are
+/// extraction-relevant.
+fn config_extract_payload(config: &SstaConfig, options: &ExtractOptions) -> String {
+    let mut payload = String::new();
+    payload.push_str(&serde_json::to_string(config).expect("config serializes"));
+    payload.push('\n');
+    // Semantic extraction options only: thread/batch knobs are excluded
+    // (they cannot change the extracted model).
+    payload.push_str(&format!(
+        "delta={:?};ensure_connectivity={};accuracy_repair={:?};max_repair_rounds={};\
+         prefilter_sigmas={:?};max_merge_rounds={}",
+        options.delta,
+        options.ensure_connectivity,
+        options.accuracy_repair,
+        options.max_repair_rounds,
+        options.criticality.prefilter_sigmas,
+        options.max_merge_rounds,
+    ));
+    payload
+}
+
 /// Combines a precomputed [`NetlistDigest`] with a configuration and
 /// extraction options into the full module fingerprint — the cheap half
 /// of the two-stage scheme, independent of the netlist size.
@@ -115,21 +139,25 @@ pub fn module_fingerprint_from_digest(
     payload.push_str("hier-ssta module fingerprint v4\n");
     payload.push_str(&structure.to_hex());
     payload.push('\n');
-    payload.push_str(&serde_json::to_string(config).expect("config serializes"));
-    payload.push('\n');
-    // Semantic extraction options only: thread/batch knobs are excluded
-    // (they cannot change the extracted model).
-    payload.push_str(&format!(
-        "delta={:?};ensure_connectivity={};accuracy_repair={:?};max_repair_rounds={};\
-         prefilter_sigmas={:?};max_merge_rounds={}",
-        options.delta,
-        options.ensure_connectivity,
-        options.accuracy_repair,
-        options.max_repair_rounds,
-        options.criticality.prefilter_sigmas,
-        options.max_merge_rounds,
-    ));
+    payload.push_str(&config_extract_payload(config, options));
     ModuleFingerprint(sha256(payload.as_bytes()))
+}
+
+/// Digests a `(SstaConfig, ExtractOptions)` pair alone — the
+/// netlist-independent extraction signature of a scenario.
+///
+/// Two scenarios with equal signatures produce equal module
+/// fingerprints for *every* module (the netlist digest enters the
+/// fingerprint separately), so a sweep planner can group scenarios by
+/// this signature before any netlist work runs and schedule exactly one
+/// extraction pass per group. Built from the same payload as
+/// [`module_fingerprint_from_digest`], so the grouping is exactly as
+/// fine as the cache keys themselves — never coarser, never finer.
+pub fn extraction_signature(config: &SstaConfig, options: &ExtractOptions) -> String {
+    let mut payload = String::new();
+    payload.push_str("hier-ssta extraction signature v1\n");
+    payload.push_str(&config_extract_payload(config, options));
+    sha256(payload.as_bytes()).to_hex()
 }
 
 /// Fingerprints a module: netlist structure + library + configuration +
@@ -216,6 +244,36 @@ mod tests {
             ..ExtractOptions::default()
         };
         assert_ne!(base, module_fingerprint(&n, &cfg, &other_opts));
+    }
+
+    #[test]
+    fn extraction_signature_tracks_the_fingerprint_inputs() {
+        let n = adder();
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        let base_sig = extraction_signature(&cfg, &opts);
+        assert_eq!(base_sig, extraction_signature(&cfg, &opts));
+        assert_eq!(base_sig.len(), 64);
+
+        // Equal signatures ⇒ equal module fingerprints (the planner's
+        // grouping invariant).
+        let base_fp = module_fingerprint(&n, &cfg, &opts);
+        assert_eq!(base_fp, module_fingerprint(&n, &cfg.clone(), &opts.clone()));
+
+        // Any extraction-relevant change moves the signature…
+        let mut other_cfg = cfg.clone();
+        other_cfg.parameters[0].sigma_rel *= 1.5;
+        assert_ne!(base_sig, extraction_signature(&other_cfg, &opts));
+        let other_opts = ExtractOptions {
+            delta: 0.01,
+            ..ExtractOptions::default()
+        };
+        assert_ne!(base_sig, extraction_signature(&cfg, &other_opts));
+
+        // …while scheduling knobs do not.
+        let mut threaded = opts.clone();
+        threaded.criticality.threads = 9;
+        assert_eq!(base_sig, extraction_signature(&cfg, &threaded));
     }
 
     #[test]

@@ -151,17 +151,40 @@ pub fn analyze_with(
 ) -> Result<DesignTiming, CoreError> {
     let started = Instant::now();
     let assembled = assemble_design_graph(design, mode, options)?;
-    let threads = effective_threads(options.threads);
-    let mut phases = assembled.phases;
-    let graph = assembled.graph;
-    let n_locals = assembled.n_local_components;
+    let schedule = LevelSchedule::build(&assembled.graph)?;
+    let mut timing = propagate_assembled(&assembled, &schedule, options.threads)?;
+    timing.elapsed_seconds = started.elapsed().as_secs_f64();
+    Ok(timing)
+}
 
-    // Step 4: propagate arrival times — levelized wavefronts, threaded
-    // within each level (bit-identical to serial for any thread count).
+/// Step 4 alone: propagates arrival times over an already-assembled
+/// design graph using a prebuilt [`LevelSchedule`] — the reuse seam for
+/// sweeps that amortize one assembly (and one schedule) across many
+/// scenarios. [`analyze_with`] is [`assemble_design_graph`] + one
+/// schedule build + this.
+///
+/// The returned timing's `phases` are the assembly's phases plus this
+/// propagation; `elapsed_seconds` is their sum (callers owning the full
+/// wall clock overwrite it).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Timing`]`(StaleSchedule)` if the schedule does
+/// not match the graph's shape, and `(NoPath)` if a design output is
+/// unreachable.
+pub fn propagate_assembled(
+    assembled: &AssembledDesign,
+    schedule: &LevelSchedule,
+    threads: usize,
+) -> Result<DesignTiming, CoreError> {
+    let threads = effective_threads(threads);
+    let mut phases = assembled.phases;
+    let graph = &assembled.graph;
+
+    // Levelized wavefronts, threaded within each level (bit-identical
+    // to serial for any thread count).
     let propagate_started = Instant::now();
-    let sources = assembled.sources;
-    let schedule = LevelSchedule::build(&graph)?;
-    let arrivals = levels::forward(&graph, &schedule, &sources, threads)?;
+    let arrivals = levels::forward(graph, schedule, &assembled.sources, threads)?;
     let po_arrivals: Vec<CanonicalForm> = graph
         .outputs()
         .iter()
@@ -178,11 +201,11 @@ pub fn analyze_with(
     phases.propagate_seconds = propagate_started.elapsed().as_secs_f64();
 
     Ok(DesignTiming {
-        mode,
+        mode: assembled.mode,
         po_arrivals,
         delay,
-        n_local_components: n_locals,
-        elapsed_seconds: started.elapsed().as_secs_f64(),
+        n_local_components: assembled.n_local_components,
+        elapsed_seconds: phases.total_seconds(),
         phases,
     })
 }
@@ -197,6 +220,8 @@ pub fn analyze_with(
 /// push-vs-pull duel); [`analyze_with`] is this plus step 4.
 #[derive(Debug, Clone)]
 pub struct AssembledDesign {
+    /// The analysis mode this graph was assembled for.
+    pub mode: CorrelationMode,
     /// The design-level timing graph.
     pub graph: TimingGraph<CanonicalForm>,
     /// Propagation sources: `(input vertex, zero form)` per design PI.
@@ -219,8 +244,35 @@ pub fn assemble_design_graph(
     mode: CorrelationMode,
     options: &AnalyzeOptions,
 ) -> Result<AssembledDesign, CoreError> {
+    assemble_design_graph_with_basis(design, mode, options, None)
+}
+
+/// [`assemble_design_graph`] with an optionally precomputed design
+/// variable basis.
+///
+/// [`DesignVariables`] depend only on the die, the placed module
+/// geometries and the config's correlation/grid/PCA settings — *not* on
+/// parameter sigma magnitudes — so a sweep whose scenarios differ only
+/// in sigma scaling can build the basis once (via
+/// [`DesignVariables::build_profiled`]) and inject it here, skipping
+/// steps 1–2 (partition, covariance, eigendecomposition) on every
+/// subsequent assembly. Passing a basis built from *different* inputs
+/// is a logic error and produces wrong correlations; callers own that
+/// cache key. Ignored in [`CorrelationMode::GlobalOnly`], which never
+/// builds a basis.
+///
+/// # Errors
+///
+/// Propagates partition/PCA/graph errors.
+pub fn assemble_design_graph_with_basis(
+    design: &Design,
+    mode: CorrelationMode,
+    options: &AnalyzeOptions,
+    basis: Option<&DesignVariables>,
+) -> Result<AssembledDesign, CoreError> {
     let threads = effective_threads(options.threads);
-    let (design_layout, transforms, mut phases) = build_variable_space(design, mode, threads)?;
+    let (design_layout, transforms, mut phases) =
+        build_variable_space(design, mode, threads, basis)?;
     let n_globals = design.config().parameters.len();
     let n_locals = design_layout.n_locals();
     let zero = || CanonicalForm::constant(0.0, n_globals, n_locals);
@@ -319,6 +371,7 @@ pub fn assemble_design_graph(
     let sources: Vec<(VertexId, CanonicalForm)> =
         graph.inputs().iter().map(|&v| (v, zero())).collect();
     Ok(AssembledDesign {
+        mode,
         graph,
         sources,
         n_local_components: n_locals,
@@ -363,17 +416,28 @@ fn build_variable_space(
     design: &Design,
     mode: CorrelationMode,
     threads: usize,
+    basis: Option<&DesignVariables>,
 ) -> Result<(VariableLayout, Vec<LocalTransform>, PhaseTimings), CoreError> {
     let n_params = design.config().parameters.len();
     match mode {
         CorrelationMode::Proposed => {
-            let (vars, mut phases) = DesignVariables::build_profiled(design, threads)?;
+            // Steps 1–2 are skipped entirely when the caller injects a
+            // precomputed basis (their cost shows up wherever it was
+            // actually built).
+            let (owned, mut phases) = match basis {
+                Some(_) => (None, PhaseTimings::default()),
+                None => {
+                    let (vars, phases) = DesignVariables::build_profiled(design, threads)?;
+                    (Some(vars), phases)
+                }
+            };
+            let vars = basis.or(owned.as_ref()).expect("basis built or injected");
             // Step 3 (cold half): one replacement matrix set per
             // instance, each independent of the others.
             let replace_started = Instant::now();
             let instances = design.instances();
             let transforms = try_parallel_indexed(instances.len(), threads, |idx| {
-                InstanceReplacement::build(&instances[idx].model, &vars, idx)
+                InstanceReplacement::build(&instances[idx].model, vars, idx)
                     .map(LocalTransform::Replace)
             })?;
             phases.replace_seconds += replace_started.elapsed().as_secs_f64();
@@ -539,6 +603,50 @@ mod tests {
         a.accumulate(&a.clone());
         assert_eq!(a.total_seconds(), 30.0);
         assert_eq!(a.eigen_seconds, 6.0);
+    }
+
+    #[test]
+    fn propagate_assembled_matches_analyze_and_reuses_across_modes() {
+        let d = chain_design(0.0);
+        let opts = AnalyzeOptions::default();
+        let prop = assemble_design_graph(&d, CorrelationMode::Proposed, &opts).unwrap();
+        let glob = assemble_design_graph(&d, CorrelationMode::GlobalOnly, &opts).unwrap();
+        // Graph *structure* is mode-independent (only coefficients
+        // differ), so one schedule serves both assemblies.
+        let schedule = LevelSchedule::build(&prop.graph).unwrap();
+        for (assembled, mode) in [
+            (&prop, CorrelationMode::Proposed),
+            (&glob, CorrelationMode::GlobalOnly),
+        ] {
+            let from_seam = propagate_assembled(assembled, &schedule, 0).unwrap();
+            let direct = analyze(&d, mode).unwrap();
+            assert_eq!(from_seam.mode, mode);
+            assert_eq!(from_seam.po_arrivals, direct.po_arrivals, "{mode:?}");
+            assert_eq!(from_seam.delay, direct.delay, "{mode:?}");
+            assert!(from_seam.elapsed_seconds >= from_seam.phases.propagate_seconds);
+        }
+    }
+
+    #[test]
+    fn injected_basis_is_bit_identical_and_skips_steps_one_two() {
+        let d = chain_design(0.0);
+        let opts = AnalyzeOptions::default();
+        let baseline = assemble_design_graph(&d, CorrelationMode::Proposed, &opts).unwrap();
+        let (vars, _) = DesignVariables::build_profiled(&d, 0).unwrap();
+        let injected =
+            assemble_design_graph_with_basis(&d, CorrelationMode::Proposed, &opts, Some(&vars))
+                .unwrap();
+        // Same basis inputs ⇒ bit-identical graph coefficients.
+        let schedule = LevelSchedule::build(&baseline.graph).unwrap();
+        let a = propagate_assembled(&baseline, &schedule, 1).unwrap();
+        let b = propagate_assembled(&injected, &schedule, 1).unwrap();
+        assert_eq!(a.po_arrivals, b.po_arrivals);
+        assert_eq!(a.delay, b.delay);
+        // The injected path never runs partition/covariance/eigen.
+        assert_eq!(injected.phases.partition_seconds, 0.0);
+        assert_eq!(injected.phases.covariance_seconds, 0.0);
+        assert_eq!(injected.phases.eigen_seconds, 0.0);
+        assert!(baseline.phases.eigen_seconds > 0.0);
     }
 
     #[test]

@@ -23,8 +23,9 @@ pub mod partition;
 pub mod replace;
 
 pub use analysis::{
-    analyze, analyze_with, assemble_design_graph, AnalyzeOptions, AssembledDesign, CorrelationMode,
-    DesignTiming, PhaseTimings,
+    analyze, analyze_with, assemble_design_graph, assemble_design_graph_with_basis,
+    propagate_assembled, AnalyzeOptions, AssembledDesign, CorrelationMode, DesignTiming,
+    PhaseTimings,
 };
 pub use design::{Connection, Design, DesignBuilder, Instance};
 pub use partition::DesignPartition;

@@ -70,14 +70,19 @@ pub use criticality::CriticalityOptions;
 pub use error::CoreError;
 pub use extract::{ExtractOptions, ExtractionStats, TimingModel};
 pub use fingerprint::{
-    module_fingerprint, module_fingerprint_from_digest, netlist_digest, ModuleFingerprint,
-    NetlistDigest,
+    extraction_signature, module_fingerprint, module_fingerprint_from_digest, netlist_digest,
+    ModuleFingerprint, NetlistDigest,
 };
 pub use hier::{
-    analyze, analyze_with, assemble_design_graph, AnalyzeOptions, AssembledDesign, CorrelationMode,
-    Design, DesignBuilder, DesignTiming, PhaseTimings,
+    analyze, analyze_with, assemble_design_graph, assemble_design_graph_with_basis,
+    propagate_assembled, AnalyzeOptions, AssembledDesign, CorrelationMode, Design, DesignBuilder,
+    DesignTiming, PhaseTimings,
 };
+pub use hier::{DesignVariables, InstanceReplacement};
+// `propagate_assembled` takes the schedule type by reference, so re-export
+// it — callers shouldn't need a direct ssta-timing dependency to name it.
 pub use module::ModuleContext;
 pub use params::{ParameterSpec, SstaConfig, VariableLayout};
 pub use scenario::ScenarioOverlay;
 pub use spatial::{CorrelationModel, GridGeometry};
+pub use ssta_timing::LevelSchedule;

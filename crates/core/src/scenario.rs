@@ -21,21 +21,35 @@
 use crate::extract::ExtractOptions;
 use crate::hier::CorrelationMode;
 use crate::params::SstaConfig;
+use crate::spatial::CorrelationModel;
 
 /// A named-scenario delta over a base `(SstaConfig, ExtractOptions,
 /// CorrelationMode)` triple.
 ///
 /// Every field is optional; an empty overlay reproduces the base setup
-/// exactly. `config` and `extract` are extraction-relevant (they change
-/// module fingerprints and thus cache keys); `mode` and
-/// `yield_target_ps` are analysis-level only and never invalidate a
-/// cached model.
+/// exactly. `config`, `extract`, `sigma_scale` and `correlation` are
+/// extraction-relevant (they change module fingerprints and thus cache
+/// keys); `mode` and `yield_target_ps` are analysis-level only and never
+/// invalidate a cached model.
+///
+/// The small knobs (`sigma_scale`, `correlation`) exist so corner-grid
+/// axes can express "scale every sigma by 1.3" or "tighten spatial
+/// correlation" without cloning and hand-editing a whole `SstaConfig`
+/// per grid point — and so two axes touching *different* knobs compose
+/// via [`ScenarioOverlay::layered`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScenarioOverlay {
     /// Replaces the base analysis configuration (extraction-relevant).
     pub config: Option<SstaConfig>,
     /// Replaces the base extraction options (extraction-relevant).
     pub extract: Option<ExtractOptions>,
+    /// Multiplies every parameter's `sigma_rel` in the resolved config
+    /// (extraction-relevant). Applied after any `config` replacement;
+    /// composes multiplicatively under [`ScenarioOverlay::layered`].
+    pub sigma_scale: Option<f64>,
+    /// Replaces the spatial-correlation model of the resolved config
+    /// (extraction-relevant). Applied after any `config` replacement.
+    pub correlation: Option<CorrelationModel>,
     /// Overrides the correlation handling of the top-level analysis
     /// (analysis-level: cached models are shared with the base).
     pub mode: Option<CorrelationMode>,
@@ -75,25 +89,78 @@ impl ScenarioOverlay {
         self
     }
 
+    /// Scales every parameter sigma in the resolved config by `scale`.
+    pub fn with_sigma_scale(mut self, scale: f64) -> Self {
+        self.sigma_scale = Some(scale);
+        self
+    }
+
+    /// Replaces the spatial-correlation model of the resolved config.
+    pub fn with_correlation(mut self, correlation: CorrelationModel) -> Self {
+        self.correlation = Some(correlation);
+        self
+    }
+
     /// Whether this overlay can change module fingerprints (i.e. touches
     /// the characterization/extraction inputs). Note the converse does
     /// not hold: replacing the config with a value *equal* to the base
     /// still yields the base fingerprints — keys are content-derived,
     /// never identity-derived.
     pub fn touches_extraction_inputs(&self) -> bool {
-        self.config.is_some() || self.extract.is_some()
+        self.config.is_some()
+            || self.extract.is_some()
+            || self.sigma_scale.is_some()
+            || self.correlation.is_some()
+    }
+
+    /// Layers `upper` over this overlay, producing the composed delta a
+    /// grid point on two axes would apply.
+    ///
+    /// Set fields of `upper` win over this overlay's, with one
+    /// exception: `sigma_scale` *composes multiplicatively* — a process
+    /// axis scaling sigmas by 1.3 and an aging axis scaling by 1.1
+    /// yield a combined 1.43×, which is what stacked variation sources
+    /// mean physically. Axes that must not fight should touch disjoint
+    /// fields.
+    pub fn layered(&self, upper: &ScenarioOverlay) -> ScenarioOverlay {
+        ScenarioOverlay {
+            config: upper.config.clone().or_else(|| self.config.clone()),
+            extract: upper.extract.clone().or_else(|| self.extract.clone()),
+            sigma_scale: match (self.sigma_scale, upper.sigma_scale) {
+                (Some(a), Some(b)) => Some(a * b),
+                (a, b) => b.or(a),
+            },
+            correlation: upper.correlation.or(self.correlation),
+            mode: upper.mode.or(self.mode),
+            yield_target_ps: upper.yield_target_ps.or(self.yield_target_ps),
+        }
     }
 
     /// Resolves the overlay against a base setup, returning the
     /// effective `(config, extract, mode)` triple for this scenario.
+    ///
+    /// Resolution order: `config` replaces the base wholesale, then
+    /// `correlation` replaces the spatial model, then `sigma_scale`
+    /// multiplies every parameter sigma. Scaled sigmas are not clamped;
+    /// a scale pushing `sigma_rel` out of `(0, 1)` surfaces as a config
+    /// validation error downstream rather than silently saturating.
     pub fn resolve(
         &self,
         base_config: &SstaConfig,
         base_extract: &ExtractOptions,
         base_mode: CorrelationMode,
     ) -> (SstaConfig, ExtractOptions, CorrelationMode) {
+        let mut config = self.config.clone().unwrap_or_else(|| base_config.clone());
+        if let Some(correlation) = self.correlation {
+            config.correlation = correlation;
+        }
+        if let Some(scale) = self.sigma_scale {
+            for p in &mut config.parameters {
+                p.sigma_rel *= scale;
+            }
+        }
         (
-            self.config.clone().unwrap_or_else(|| base_config.clone()),
+            config,
             self.extract.clone().unwrap_or_else(|| base_extract.clone()),
             self.mode.unwrap_or(base_mode),
         )
@@ -132,6 +199,69 @@ mod tests {
             module_fingerprint(&netlist, &c, &e),
             "mode/yield overlays must preserve cache keys"
         );
+    }
+
+    #[test]
+    fn sigma_scale_and_correlation_are_extraction_relevant() {
+        assert!(ScenarioOverlay::new()
+            .with_sigma_scale(1.3)
+            .touches_extraction_inputs());
+        assert!(ScenarioOverlay::new()
+            .with_correlation(CorrelationModel::paper())
+            .touches_extraction_inputs());
+
+        let base = SstaConfig::paper();
+        let extract = ExtractOptions::default();
+        let (scaled, _, _) = ScenarioOverlay::new().with_sigma_scale(1.5).resolve(
+            &base,
+            &extract,
+            CorrelationMode::Proposed,
+        );
+        for (p, b) in scaled.parameters.iter().zip(&base.parameters) {
+            assert_eq!(p.sigma_rel, b.sigma_rel * 1.5);
+        }
+
+        let netlist = generators::ripple_carry_adder(3).unwrap();
+        assert_ne!(
+            module_fingerprint(&netlist, &base, &extract),
+            module_fingerprint(&netlist, &scaled, &extract),
+            "sigma scaling must re-key cached models"
+        );
+    }
+
+    #[test]
+    fn unit_sigma_scale_resolves_to_the_base_config() {
+        // Content-derived keys: scaling by exactly 1.0 must keep the
+        // base fingerprints so a grid's nominal point collapses into
+        // the baseline group.
+        let base = SstaConfig::paper();
+        let extract = ExtractOptions::default();
+        let (c, _, _) = ScenarioOverlay::new().with_sigma_scale(1.0).resolve(
+            &base,
+            &extract,
+            CorrelationMode::Proposed,
+        );
+        assert_eq!(c, base);
+    }
+
+    #[test]
+    fn layering_overrides_fields_and_composes_sigma_scales() {
+        let lower = ScenarioOverlay::new()
+            .with_sigma_scale(1.2)
+            .with_yield_target(1000.0);
+        let upper = ScenarioOverlay::new()
+            .with_sigma_scale(1.5)
+            .with_mode(CorrelationMode::GlobalOnly);
+        let combined = lower.layered(&upper);
+        assert_eq!(combined.sigma_scale, Some(1.2 * 1.5));
+        assert_eq!(combined.mode, Some(CorrelationMode::GlobalOnly));
+        assert_eq!(combined.yield_target_ps, Some(1000.0));
+
+        // One-sided scales pass through unchanged.
+        let only_lower = lower.layered(&ScenarioOverlay::new());
+        assert_eq!(only_lower.sigma_scale, Some(1.2));
+        let only_upper = ScenarioOverlay::new().layered(&upper);
+        assert_eq!(only_upper.sigma_scale, Some(1.5));
     }
 
     #[test]

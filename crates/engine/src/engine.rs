@@ -25,6 +25,8 @@
 //! assembly, never a full re-characterization.
 
 use crate::error::EngineError;
+use crate::grid::CornerGrid;
+use crate::pipeline::sweep::{SweepOptions, SweepSummary};
 use crate::pipeline::{
     self, effective_threads, parallel_indexed, singleflight::SingleFlight, ScenarioParams,
     SessionCache, SharedState,
@@ -367,6 +369,15 @@ impl Engine {
                 reason: "a batch needs at least one scenario".into(),
             });
         }
+        // Duplicate labels would make per-scenario reporting ambiguous
+        // (`BatchRun::scenario` returns the first match) and silently
+        // double-count stats; reject them up front with the offending
+        // name.
+        if let Some(name) = scenarios.duplicate_name() {
+            return Err(EngineError::Spec {
+                reason: format!("duplicate scenario name {name:?} in batch"),
+            });
+        }
         let started = Instant::now();
         let params: Vec<ScenarioParams> = scenarios
             .iter()
@@ -427,5 +438,81 @@ impl Engine {
             scenarios: runs,
             stats,
         })
+    }
+
+    /// Sweeps one design spec across a [`CornerGrid`] of scenario
+    /// overlays — the mega-sweep path for hundreds-to-thousands of
+    /// corners.
+    ///
+    /// Where [`Engine::analyze_batch`] runs every scenario as an
+    /// independent pipeline trip (relying on the single-flight table to
+    /// dedupe racing extractions), this path **plans the collapse up
+    /// front**: corners are grouped by extraction signature before any
+    /// work runs, so a grid with N corners and K distinct
+    /// `(config, extract)` groups schedules exactly K resolve + assemble
+    /// passes — and corners differing only in correlation mode or yield
+    /// target share one design analysis outright. Workers self-schedule
+    /// whole groups over a shared cursor and stream compact per-corner
+    /// records into the returned [`SweepSummary`]; full results are
+    /// dropped as soon as each group summarizes, keeping peak resident
+    /// memory O(workers) (see [`SweepOptions::retain_results`] to keep
+    /// them all).
+    ///
+    /// Results are bit-identical to analyzing each corner one at a time
+    /// with [`Engine::analyze`], for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Spec`] for an empty grid (unbuildable —
+    /// [`CornerGrid`] construction rejects it) and propagates the
+    /// failing group's error for the lowest affected corner index.
+    pub fn analyze_sweep(
+        &mut self,
+        spec: &DesignSpec,
+        grid: &CornerGrid,
+        options: &SweepOptions,
+    ) -> Result<SweepSummary, EngineError> {
+        self.analyze_sweep_cancellable(spec, grid, options, &CancelToken::new())
+    }
+
+    /// [`Engine::analyze_sweep`] with a cooperative [`CancelToken`],
+    /// polled at the same stage checkpoints as
+    /// [`Engine::analyze_batch_cancellable`] (before each group's
+    /// resolve, before each module resolution, and before each mode
+    /// bucket's analysis).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::analyze_sweep`], plus [`EngineError::Cancelled`]
+    /// once the token fires.
+    pub fn analyze_sweep_cancellable(
+        &mut self,
+        spec: &DesignSpec,
+        grid: &CornerGrid,
+        options: &SweepOptions,
+        cancel: &CancelToken,
+    ) -> Result<SweepSummary, EngineError> {
+        let workers = effective_threads(if options.workers != 0 {
+            options.workers
+        } else {
+            self.options.threads
+        });
+        let shared = SharedState {
+            cache: &self.memory,
+            flights: self.flights.table(),
+            store: self.store.as_ref(),
+            threads: workers,
+            cancel,
+        };
+        pipeline::sweep::run_sweep(
+            spec,
+            grid,
+            options,
+            workers,
+            &self.config,
+            &self.options.extract,
+            self.options.mode,
+            &shared,
+        )
     }
 }

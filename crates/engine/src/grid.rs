@@ -1,0 +1,399 @@
+//! Corner grids: cartesian products of named scenario axes.
+//!
+//! Real sign-off sweeps cross process × voltage × temperature ×
+//! correlation axes into thousands of corners — the corner explosion
+//! that motivates statistical timing in the first place. A
+//! [`CornerGrid`] holds the *axes* (a few dozen [`ScenarioOverlay`]
+//! deltas) and materializes individual [`Scenario`]s lazily by
+//! mixed-radix index decomposition, so a 10×10×10×4 grid is a handful
+//! of overlays plus an integer — never 4 000 up-front config clones.
+//!
+//! Grid-point names are `axis=point` pairs joined with `/`
+//! (`process=slow/vdd=0.9/temp=125`), and are unique by construction:
+//! point labels are unique within each axis and the separator
+//! characters are rejected from names, so the cartesian product can
+//! never alias. Overlays compose via [`ScenarioOverlay::layered`] —
+//! later axes win on conflicting fields, sigma scales multiply.
+
+use crate::error::EngineError;
+use crate::scenario::{Scenario, ScenarioSet};
+use ssta_core::{CorrelationMode, CorrelationModel, ScenarioOverlay};
+
+fn spec_err(reason: impl Into<String>) -> EngineError {
+    EngineError::Spec {
+        reason: reason.into(),
+    }
+}
+
+/// Characters used to assemble grid-point names; rejected from axis
+/// names and point labels so names stay collision-free.
+const NAME_SEPARATORS: [char; 2] = ['/', '='];
+
+/// One named axis of a [`CornerGrid`]: an ordered list of labelled
+/// [`ScenarioOverlay`] deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridAxis {
+    name: String,
+    points: Vec<(String, ScenarioOverlay)>,
+}
+
+impl GridAxis {
+    /// An axis from explicit `(label, overlay)` points.
+    pub fn new<L: Into<String>>(
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (L, ScenarioOverlay)>,
+    ) -> Self {
+        GridAxis {
+            name: name.into(),
+            points: points
+                .into_iter()
+                .map(|(label, overlay)| (label.into(), overlay))
+                .collect(),
+        }
+    }
+
+    /// A sigma-scaling axis: one point per scale factor, labelled
+    /// `x{scale}` (e.g. `x0.8`, `x1.3`).
+    pub fn sigma_scales(name: impl Into<String>, scales: &[f64]) -> Self {
+        GridAxis::new(
+            name,
+            scales
+                .iter()
+                .map(|&s| (format!("x{s}"), ScenarioOverlay::new().with_sigma_scale(s))),
+        )
+    }
+
+    /// A clock-target axis: one yield read-out point per target,
+    /// labelled `{target}ps`.
+    pub fn yield_targets(name: impl Into<String>, targets_ps: &[f64]) -> Self {
+        GridAxis::new(
+            name,
+            targets_ps.iter().map(|&t| {
+                (
+                    format!("{t}ps"),
+                    ScenarioOverlay::new().with_yield_target(t),
+                )
+            }),
+        )
+    }
+
+    /// A correlation-handling axis over both analysis modes
+    /// (`proposed`, `global-only`) — analysis-level only, so it never
+    /// multiplies extractions.
+    pub fn modes(name: impl Into<String>) -> Self {
+        GridAxis::new(
+            name,
+            [
+                (
+                    "proposed",
+                    ScenarioOverlay::new().with_mode(CorrelationMode::Proposed),
+                ),
+                (
+                    "global-only",
+                    ScenarioOverlay::new().with_mode(CorrelationMode::GlobalOnly),
+                ),
+            ],
+        )
+    }
+
+    /// A spatial-correlation axis from labelled models.
+    pub fn correlations<L: Into<String>>(
+        name: impl Into<String>,
+        models: impl IntoIterator<Item = (L, CorrelationModel)>,
+    ) -> Self {
+        GridAxis::new(
+            name,
+            models
+                .into_iter()
+                .map(|(label, m)| (label, ScenarioOverlay::new().with_correlation(m))),
+        )
+    }
+
+    /// The axis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The labelled points, in axis order.
+    pub fn points(&self) -> &[(String, ScenarioOverlay)] {
+        &self.points
+    }
+
+    /// Number of points on this axis.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the axis has no points (rejected at grid construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.name.is_empty() {
+            return Err(spec_err("corner-grid axis name must not be empty"));
+        }
+        if self.name.contains(NAME_SEPARATORS) {
+            return Err(spec_err(format!(
+                "corner-grid axis name {:?} must not contain '/' or '='",
+                self.name
+            )));
+        }
+        if self.points.is_empty() {
+            return Err(spec_err(format!(
+                "corner-grid axis {:?} has no points",
+                self.name
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (label, _) in &self.points {
+            if label.is_empty() {
+                return Err(spec_err(format!(
+                    "corner-grid axis {:?} has an empty point label",
+                    self.name
+                )));
+            }
+            if label.contains(NAME_SEPARATORS) {
+                return Err(spec_err(format!(
+                    "point label {label:?} on axis {:?} must not contain '/' or '='",
+                    self.name
+                )));
+            }
+            if !seen.insert(label.as_str()) {
+                return Err(spec_err(format!(
+                    "duplicate point label {label:?} on corner-grid axis {:?}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A validated cartesian corner grid: the lazy product of named
+/// [`ScenarioOverlay`] axes, with `axis=point` corner names that are
+/// unique by construction.
+///
+/// Construct via [`CornerGrid::builder`] or [`CornerGrid::from_axes`].
+/// The grid is the lazy product of its axes: [`len`](Self::len) is the
+/// product of the axis sizes, and [`scenario`](Self::scenario)
+/// materializes any single corner on demand. The last axis varies
+/// fastest, matching the name order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerGrid {
+    axes: Vec<GridAxis>,
+    n_scenarios: usize,
+}
+
+impl CornerGrid {
+    /// Starts an empty grid builder.
+    pub fn builder() -> CornerGridBuilder {
+        CornerGridBuilder { axes: Vec::new() }
+    }
+
+    /// Builds a grid directly from axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error if there are no axes, an axis is empty or
+    /// unnamed, axis names or point labels repeat or contain the name
+    /// separators (`/`, `=`), or the corner count overflows.
+    pub fn from_axes(axes: Vec<GridAxis>) -> Result<Self, EngineError> {
+        if axes.is_empty() {
+            return Err(spec_err("a corner grid needs at least one axis"));
+        }
+        let mut names = std::collections::BTreeSet::new();
+        let mut n_scenarios: usize = 1;
+        for axis in &axes {
+            axis.validate()?;
+            if !names.insert(axis.name.as_str()) {
+                return Err(spec_err(format!(
+                    "duplicate corner-grid axis name {:?}",
+                    axis.name
+                )));
+            }
+            n_scenarios = n_scenarios
+                .checked_mul(axis.len())
+                .ok_or_else(|| spec_err("corner-grid size overflows usize"))?;
+        }
+        Ok(CornerGrid { axes, n_scenarios })
+    }
+
+    /// The axes, in declaration order.
+    pub fn axes(&self) -> &[GridAxis] {
+        &self.axes
+    }
+
+    /// Total number of corners (product of axis sizes, at least 1).
+    #[allow(clippy::len_without_is_empty)] // a valid grid is never empty
+    pub fn len(&self) -> usize {
+        self.n_scenarios
+    }
+
+    /// Materializes corner `index` — name and layered overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn scenario(&self, index: usize) -> Scenario {
+        assert!(
+            index < self.n_scenarios,
+            "corner index {index} out of range for a {} corner grid",
+            self.n_scenarios
+        );
+        let mut name = String::new();
+        let mut overlay = ScenarioOverlay::new();
+        // Mixed-radix decomposition, last axis fastest.
+        let mut radix_below = self.n_scenarios;
+        let mut rest = index;
+        for axis in &self.axes {
+            radix_below /= axis.len();
+            let point = rest / radix_below;
+            rest %= radix_below;
+            let (label, delta) = &axis.points[point];
+            if !name.is_empty() {
+                name.push('/');
+            }
+            name.push_str(&axis.name);
+            name.push('=');
+            name.push_str(label);
+            overlay = overlay.layered(delta);
+        }
+        Scenario::with_overlay(name, overlay)
+    }
+
+    /// Iterates all corners in index order, materializing lazily.
+    pub fn iter(&self) -> impl Iterator<Item = Scenario> + '_ {
+        (0..self.n_scenarios).map(|i| self.scenario(i))
+    }
+
+    /// Materializes the whole grid as a [`ScenarioSet`] — for tests and
+    /// small grids; sweeps should pass the grid itself so corners stay
+    /// lazy.
+    pub fn to_scenario_set(&self) -> ScenarioSet {
+        self.iter().collect()
+    }
+}
+
+/// Builder for [`CornerGrid`] (see [`CornerGrid::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct CornerGridBuilder {
+    axes: Vec<GridAxis>,
+}
+
+impl CornerGridBuilder {
+    /// Appends an axis (outer axes first; the last axis varies fastest).
+    pub fn axis(mut self, axis: GridAxis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Validates and finishes the grid.
+    ///
+    /// # Errors
+    ///
+    /// See [`CornerGrid::from_axes`].
+    pub fn finish(self) -> Result<CornerGrid, EngineError> {
+        CornerGrid::from_axes(self.axes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_axis_grid() -> CornerGrid {
+        CornerGrid::builder()
+            .axis(GridAxis::sigma_scales("process", &[0.8, 1.0, 1.3]))
+            .axis(GridAxis::modes("mode"))
+            .axis(GridAxis::yield_targets("clock", &[900.0, 1100.0]))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn len_is_the_product_and_names_follow_mixed_radix_order() {
+        let grid = three_axis_grid();
+        assert_eq!(grid.len(), 3 * 2 * 2);
+        assert_eq!(
+            grid.scenario(0).name,
+            "process=x0.8/mode=proposed/clock=900ps"
+        );
+        // Last axis varies fastest.
+        assert_eq!(
+            grid.scenario(1).name,
+            "process=x0.8/mode=proposed/clock=1100ps"
+        );
+        assert_eq!(
+            grid.scenario(2).name,
+            "process=x0.8/mode=global-only/clock=900ps"
+        );
+        assert_eq!(
+            grid.scenario(11).name,
+            "process=x1.3/mode=global-only/clock=1100ps"
+        );
+    }
+
+    #[test]
+    fn corners_layer_their_axis_overlays() {
+        let grid = three_axis_grid();
+        let corner = grid.scenario(11);
+        assert_eq!(corner.overlay.sigma_scale, Some(1.3));
+        assert_eq!(corner.overlay.mode, Some(CorrelationMode::GlobalOnly));
+        assert_eq!(corner.overlay.yield_target_ps, Some(1100.0));
+    }
+
+    #[test]
+    fn sigma_scales_on_two_axes_compose_multiplicatively() {
+        let grid = CornerGrid::builder()
+            .axis(GridAxis::sigma_scales("process", &[1.2]))
+            .axis(GridAxis::sigma_scales("aging", &[1.5]))
+            .finish()
+            .unwrap();
+        assert_eq!(grid.scenario(0).overlay.sigma_scale, Some(1.2 * 1.5));
+    }
+
+    #[test]
+    fn large_grids_stay_lazy_and_names_stay_unique() {
+        // A 10×10×10×4 grid: construction is O(axes), not O(corners).
+        let tens: Vec<f64> = (0..10).map(|i| 1.0 + 0.05 * i as f64).collect();
+        let targets: Vec<f64> = (0..10).map(|i| 900.0 + 50.0 * i as f64).collect();
+        let labels: Vec<(String, ScenarioOverlay)> = (0..10)
+            .map(|i| (format!("p{i}"), ScenarioOverlay::new()))
+            .collect();
+        let quads: Vec<f64> = vec![800.0, 900.0, 1000.0, 1100.0];
+        let grid = CornerGrid::builder()
+            .axis(GridAxis::sigma_scales("process", &tens))
+            .axis(GridAxis::yield_targets("clock", &targets))
+            .axis(GridAxis::new("placement", labels))
+            .axis(GridAxis::yield_targets("vdd", &quads))
+            .finish()
+            .unwrap();
+        assert_eq!(grid.len(), 4000);
+        // Spot-check an arbitrary corner and the set-wide name
+        // uniqueness invariant the scenario machinery relies on.
+        let s = grid.scenario(1234);
+        assert!(s.name.starts_with("process="));
+        assert!(grid.to_scenario_set().duplicate_name().is_none());
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        let empty_grid = CornerGrid::builder().finish();
+        assert!(matches!(empty_grid, Err(EngineError::Spec { .. })));
+
+        let empty_axis = CornerGrid::from_axes(vec![GridAxis::sigma_scales("p", &[])]);
+        assert!(empty_axis.is_err());
+
+        let dup_axis =
+            CornerGrid::from_axes(vec![GridAxis::modes("mode"), GridAxis::modes("mode")]);
+        assert!(dup_axis.unwrap_err().to_string().contains("duplicate"));
+
+        let dup_label = CornerGrid::from_axes(vec![GridAxis::sigma_scales("p", &[1.0, 1.0])]);
+        assert!(dup_label.unwrap_err().to_string().contains("duplicate"));
+
+        let separator =
+            CornerGrid::from_axes(vec![GridAxis::new("a=b", [("x", ScenarioOverlay::new())])]);
+        assert!(separator.is_err());
+    }
+}

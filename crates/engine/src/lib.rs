@@ -88,6 +88,7 @@
 
 mod engine;
 mod error;
+mod grid;
 mod pipeline;
 mod scenario;
 mod spec;
@@ -98,6 +99,8 @@ pub use engine::{
     ScenarioRun,
 };
 pub use error::EngineError;
+pub use grid::{CornerGrid, CornerGridBuilder, GridAxis};
+pub use pipeline::sweep::{ScenarioRecord, SweepOptions, SweepSummary};
 pub use scenario::{Scenario, ScenarioSet};
 pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
 pub use store::{ArtifactInfo, Codec, FsBackend, MemoryBackend, ModelStore, StorageBackend};

@@ -27,6 +27,7 @@ pub(crate) mod plan;
 pub(crate) mod report;
 pub(crate) mod resolve;
 pub(crate) mod singleflight;
+pub(crate) mod sweep;
 
 use crate::error::EngineError;
 use crate::spec::DesignSpec;

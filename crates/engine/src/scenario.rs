@@ -10,7 +10,8 @@
 //! misses on one fingerprint are single-flighted so the batch never
 //! extracts a module twice.
 
-use ssta_core::{CorrelationMode, ExtractOptions, ScenarioOverlay, SstaConfig};
+use ssta_core::{CorrelationMode, CorrelationModel, ExtractOptions, ScenarioOverlay, SstaConfig};
+use std::collections::BTreeSet;
 
 /// A named scenario: a label plus a delta over the engine's base setup.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -65,12 +66,36 @@ impl Scenario {
         self.overlay.yield_target_ps = Some(target_ps);
         self
     }
+
+    /// Scales every parameter sigma by `scale` (extraction-relevant:
+    /// re-keys cached models).
+    pub fn with_sigma_scale(mut self, scale: f64) -> Self {
+        self.overlay.sigma_scale = Some(scale);
+        self
+    }
+
+    /// Replaces the spatial-correlation model (extraction-relevant:
+    /// re-keys cached models).
+    pub fn with_correlation(mut self, correlation: CorrelationModel) -> Self {
+        self.overlay.correlation = Some(correlation);
+        self
+    }
 }
 
 /// An ordered set of named scenarios, analyzed as one batch.
+///
+/// Scenario names key the batch report
+/// ([`BatchRun::scenario`](crate::BatchRun::scenario)) and the
+/// per-scenario stats tables, so they must be unique. Duplicates are
+/// detected at insertion time and rejected when the set reaches an
+/// engine ([`Engine::analyze_batch`](crate::Engine::analyze_batch)
+/// returns a spec error naming the offender) — construction itself
+/// stays infallible so builder chains read cleanly.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScenarioSet {
     scenarios: Vec<Scenario>,
+    names: BTreeSet<String>,
+    duplicate: Option<String>,
 }
 
 impl ScenarioSet {
@@ -88,13 +113,22 @@ impl ScenarioSet {
 
     /// Appends a scenario (builder style).
     pub fn with(mut self, scenario: Scenario) -> Self {
-        self.scenarios.push(scenario);
+        self.push(scenario);
         self
     }
 
     /// Appends a scenario.
     pub fn push(&mut self, scenario: Scenario) {
+        if !self.names.insert(scenario.name.clone()) && self.duplicate.is_none() {
+            self.duplicate = Some(scenario.name.clone());
+        }
         self.scenarios.push(scenario);
+    }
+
+    /// The first duplicated scenario name, if any — what the engine
+    /// reports when rejecting the set.
+    pub fn duplicate_name(&self) -> Option<&str> {
+        self.duplicate.as_deref()
     }
 
     /// The scenarios, in analysis order.
@@ -120,9 +154,11 @@ impl ScenarioSet {
 
 impl FromIterator<Scenario> for ScenarioSet {
     fn from_iter<I: IntoIterator<Item = Scenario>>(iter: I) -> Self {
-        ScenarioSet {
-            scenarios: iter.into_iter().collect(),
+        let mut set = ScenarioSet::new();
+        for scenario in iter {
+            set.push(scenario);
         }
+        set
     }
 }
 
@@ -154,5 +190,22 @@ mod tests {
         let set = ScenarioSet::baseline();
         assert_eq!(set.len(), 1);
         assert_eq!(set.scenarios()[0].overlay, ScenarioOverlay::default());
+        assert!(set.duplicate_name().is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_detected_at_insertion() {
+        let set = ScenarioSet::new()
+            .with(Scenario::new("fast"))
+            .with(Scenario::new("slow"))
+            .with(Scenario::new("fast").with_yield_target(900.0));
+        assert_eq!(set.duplicate_name(), Some("fast"));
+        // The first offender sticks even if more duplicates follow.
+        let set = set.with(Scenario::new("slow"));
+        assert_eq!(set.duplicate_name(), Some("fast"));
+        assert_eq!(set.len(), 4);
+
+        let collected: ScenarioSet = ["a", "b", "a"].iter().map(|n| Scenario::new(*n)).collect();
+        assert_eq!(collected.duplicate_name(), Some("a"));
     }
 }

@@ -8,8 +8,11 @@
 //! [`Engine::analyze_batch`](ssta_engine::Engine::analyze_batch)
 //! against one shared warm [`ModelStore`](ssta_engine::ModelStore):
 //!
-//! * **Typed request/response** — [`AnalyzeRequest`] (spec + scenario
-//!   sweep + deadline + priority) in, [`AnalyzeResponse`] (timing
+//! * **Typed request/response** — [`AnalyzeRequest`] (spec plus a
+//!   [`Workload`] — a named scenario set, or a corner-grid mega-sweep
+//!   served by
+//!   [`Engine::analyze_sweep`](ssta_engine::Engine::analyze_sweep) —
+//!   plus deadline and priority) in, [`AnalyzeResponse`] (timing
 //!   results + per-request [`ServeStats`]) out, connected by a
 //!   [`Ticket`];
 //! * **Admission control + backpressure** — a bounded two-lane queue:
@@ -84,7 +87,7 @@ mod stats;
 mod ticket;
 
 pub use request::{
-    AnalyzeRequest, AnalyzeResponse, Outcome, Priority, Rejection, RequestId, ServeStats,
+    AnalyzeRequest, AnalyzeResponse, Outcome, Priority, Rejection, RequestId, ServeStats, Workload,
 };
 pub use server::{ServeOptions, Server};
 pub use stats::ServerSnapshot;

@@ -1,6 +1,8 @@
 //! The typed request/response surface of the serving layer.
 
-use ssta_engine::{BatchRun, DesignSpec, EngineError, ScenarioSet};
+use ssta_engine::{
+    BatchRun, CornerGrid, DesignSpec, EngineError, ScenarioSet, SweepOptions, SweepSummary,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,15 +45,40 @@ impl Priority {
     }
 }
 
-/// One analysis request: a design spec swept over a scenario set, with
-/// an optional latency budget and a scheduling class.
+/// What one request asks the engine to run.
+///
+/// Small named scenario sets go through the batch pipeline; corner
+/// grids go through the mega-sweep path
+/// ([`Engine::analyze_sweep`](ssta_engine::Engine::analyze_sweep)),
+/// which collapses corners by extraction fingerprint up front and
+/// streams compact per-corner records instead of materializing every
+/// full result.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A [`ScenarioSet`] served by
+    /// [`Engine::analyze_batch`](ssta_engine::Engine::analyze_batch);
+    /// resolves to [`Outcome::Completed`].
+    Scenarios(ScenarioSet),
+    /// A [`CornerGrid`] served by
+    /// [`Engine::analyze_sweep`](ssta_engine::Engine::analyze_sweep);
+    /// resolves to [`Outcome::Swept`].
+    Sweep {
+        /// The corner grid, materialized lazily on the worker.
+        grid: CornerGrid,
+        /// Sweep tuning (worker count, retention, channel bound).
+        options: SweepOptions,
+    },
+}
+
+/// One analysis request: a design spec plus a [`Workload`], with an
+/// optional latency budget and a scheduling class.
 #[derive(Debug, Clone)]
 pub struct AnalyzeRequest {
     /// The design to analyze. `Arc`-shared so many requests (and the
     /// worker that serves each) reference one spec without copying.
     pub spec: Arc<DesignSpec>,
-    /// The named scenario overlays to sweep.
-    pub scenarios: ScenarioSet,
+    /// What to run over the spec.
+    pub workload: Workload,
     /// Latency budget measured from submission. Admission control sheds
     /// the request up front when the estimated queue wait already
     /// exceeds it; past admission it becomes a deadline on a
@@ -67,9 +94,22 @@ impl AnalyzeRequest {
     pub fn new(spec: Arc<DesignSpec>, scenarios: ScenarioSet) -> Self {
         AnalyzeRequest {
             spec,
-            scenarios,
+            workload: Workload::Scenarios(scenarios),
             deadline: None,
             priority: Priority::default(),
+        }
+    }
+
+    /// A corner-grid mega-sweep request. Defaults to
+    /// [`Priority::Batch`]: a thousand-corner sweep is throughput
+    /// traffic and should yield to interactive requests (override with
+    /// [`with_priority`](Self::with_priority) if not).
+    pub fn sweep(spec: Arc<DesignSpec>, grid: CornerGrid, options: SweepOptions) -> Self {
+        AnalyzeRequest {
+            spec,
+            workload: Workload::Sweep { grid, options },
+            deadline: None,
+            priority: Priority::Batch,
         }
     }
 
@@ -131,6 +171,8 @@ impl fmt::Display for Rejection {
 pub enum Outcome {
     /// The analysis ran to completion.
     Completed(Box<BatchRun>),
+    /// A [`Workload::Sweep`] ran to completion.
+    Swept(Box<SweepSummary>),
     /// Admission control refused the request before it was queued.
     Rejected(Rejection),
     /// The request was cancelled — explicitly via
@@ -144,7 +186,7 @@ pub enum Outcome {
 impl Outcome {
     /// Whether the analysis ran to completion.
     pub fn is_completed(&self) -> bool {
-        matches!(self, Outcome::Completed(_))
+        matches!(self, Outcome::Completed(_) | Outcome::Swept(_))
     }
 
     /// The completed run, if any.
@@ -155,10 +197,19 @@ impl Outcome {
         }
     }
 
+    /// The completed sweep summary, if any.
+    pub fn sweep(&self) -> Option<&SweepSummary> {
+        match self {
+            Outcome::Swept(summary) => Some(summary),
+            _ => None,
+        }
+    }
+
     /// Short label for tables and logs.
     pub fn label(&self) -> &'static str {
         match self {
             Outcome::Completed(_) => "completed",
+            Outcome::Swept(_) => "swept",
             Outcome::Rejected(Rejection::QueueFull { .. }) => "rejected:queue_full",
             Outcome::Rejected(Rejection::Shed { .. }) => "rejected:shed",
             Outcome::Cancelled => "cancelled",

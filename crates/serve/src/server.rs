@@ -2,7 +2,9 @@
 //! bounded submission queue.
 
 use crate::queue::{Job, SubmitQueue};
-use crate::request::{AnalyzeRequest, AnalyzeResponse, Outcome, Rejection, RequestId, ServeStats};
+use crate::request::{
+    AnalyzeRequest, AnalyzeResponse, Outcome, Rejection, RequestId, ServeStats, Workload,
+};
 use crate::stats::{Counters, ServerSnapshot};
 use crate::ticket::{ResponseSlot, Ticket};
 use ssta_core::{parallel::effective_threads, CancelToken, SstaConfig};
@@ -202,23 +204,41 @@ fn worker_loop(index: usize, mut engine: Engine, shared: &Shared) {
             (Err(EngineError::Cancelled), Duration::ZERO)
         } else {
             let started = Instant::now();
-            let result = engine.analyze_batch_cancellable(
-                &job.request.spec,
-                &job.request.scenarios,
-                &job.cancel,
-            );
+            let result = match &job.request.workload {
+                Workload::Scenarios(scenarios) => engine
+                    .analyze_batch_cancellable(&job.request.spec, scenarios, &job.cancel)
+                    .map(|run| Outcome::Completed(Box::new(run))),
+                Workload::Sweep { grid, options } => engine
+                    .analyze_sweep_cancellable(&job.request.spec, grid, options, &job.cancel)
+                    .map(|summary| Outcome::Swept(Box::new(summary))),
+            };
             (result, started.elapsed())
         };
 
         let counters = &shared.counters;
         let outcome = match result {
-            Ok(run) => {
+            Ok(outcome) => {
+                let (extractions, coalesced, memory_hits, store_hits) = match &outcome {
+                    Outcome::Completed(run) => (
+                        run.stats.extractions,
+                        run.stats.coalesced,
+                        run.stats.memory_hits,
+                        run.stats.store_hits,
+                    ),
+                    Outcome::Swept(summary) => (
+                        summary.extractions,
+                        summary.coalesced,
+                        summary.memory_hits,
+                        summary.store_hits,
+                    ),
+                    _ => unreachable!("engine success maps to a completed outcome"),
+                };
                 counters.add(&counters.completed, 1);
-                counters.add(&counters.extractions, run.stats.extractions as u64);
-                counters.add(&counters.coalesced, run.stats.coalesced as u64);
-                counters.add(&counters.memory_hits, run.stats.memory_hits as u64);
-                counters.add(&counters.store_hits, run.stats.store_hits as u64);
-                Outcome::Completed(Box::new(run))
+                counters.add(&counters.extractions, extractions as u64);
+                counters.add(&counters.coalesced, coalesced as u64);
+                counters.add(&counters.memory_hits, memory_hits as u64);
+                counters.add(&counters.store_hits, store_hits as u64);
+                outcome
             }
             Err(e) if e.is_cancelled() => {
                 counters.add(&counters.cancelled, 1);
@@ -245,6 +265,16 @@ fn worker_loop(index: usize, mut engine: Engine, shared: &Shared) {
                 coalesced: run.stats.coalesced,
                 memory_hits: run.stats.memory_hits,
                 store_hits: run.stats.store_hits,
+                sequence: counters.next_sequence(),
+                worker: index,
+            },
+            Outcome::Swept(summary) => ServeStats {
+                queue_wait,
+                service_time,
+                extractions: summary.extractions,
+                coalesced: summary.coalesced,
+                memory_hits: summary.memory_hits,
+                store_hits: summary.store_hits,
                 sequence: counters.next_sequence(),
                 worker: index,
             },
