@@ -224,7 +224,11 @@ impl Engine {
                     return Ok((model, ModelSource::Store));
                 }
                 Ok(None) | Err(EngineError::Store { .. }) => {}
-                Err(e) => return Err(e),
+                Err(e) if e.is_cancelled() => return Err(e),
+                // A failed store *read* (transport down, retries
+                // exhausted, breaker open) degrades to re-extraction;
+                // the backend stack's health counters record it.
+                Err(_) => {}
             }
         }
         let ctx = ModuleContext::characterize((*netlist).clone(), &self.config)?;
@@ -311,9 +315,16 @@ impl Engine {
     pub fn analyze(&mut self, spec: &DesignSpec) -> Result<EngineRun, EngineError> {
         let mut batch = self.analyze_batch(spec, &ScenarioSet::baseline())?;
         let run = batch.scenarios.pop().expect("baseline has one scenario");
+        let mut stats = run.stats;
+        // A baseline batch is this one scenario, so the batch-boundary
+        // health delta is exactly this run's.
+        stats.store_retries = batch.stats.store_retries;
+        stats.store_quarantined = batch.stats.store_quarantined;
+        stats.store_breaker_trips = batch.stats.store_breaker_trips;
+        stats.store_breaker = batch.stats.store_breaker;
         Ok(EngineRun {
             timing: run.timing,
-            stats: run.stats,
+            stats,
         })
     }
 
@@ -379,6 +390,13 @@ impl Engine {
             });
         }
         let started = Instant::now();
+        // Health is attributed at the batch boundary: scenarios share
+        // one backend stack, so per-scenario deltas would double-count.
+        let health_before = self
+            .store
+            .as_ref()
+            .map(ModelStore::health)
+            .unwrap_or_default();
         let params: Vec<ScenarioParams> = scenarios
             .iter()
             .map(|s| {
@@ -431,6 +449,9 @@ impl Engine {
         };
         for run in &runs {
             stats.absorb(&run.stats);
+        }
+        if let Some(store) = &self.store {
+            stats.absorb_health(&store.health().delta(&health_before));
         }
         stats.elapsed_seconds = started.elapsed().as_secs_f64();
 

@@ -22,6 +22,16 @@ pub enum EngineError {
         /// The first violation found.
         reason: String,
     },
+    /// A transient storage-layer failure: the transport dropped the
+    /// operation, a retry policy exhausted its attempts, or a circuit
+    /// breaker is refusing cold-tier traffic. Unlike
+    /// [`Store`](Self::Store), nothing is wrong with the artifact
+    /// itself — the operation is worth retrying later, and the engine
+    /// degrades a read that fails this way into a re-extraction.
+    Unavailable {
+        /// What gave out.
+        reason: String,
+    },
     /// A failure shared from another scenario's in-flight resolution of
     /// the same module: the single-flight table coalesced this request
     /// onto a resolution that then failed, and the original error is
@@ -41,6 +51,9 @@ impl fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "model library I/O error: {e}"),
             EngineError::Store { reason } => write!(f, "model library artifact rejected: {reason}"),
             EngineError::Spec { reason } => write!(f, "invalid design spec: {reason}"),
+            EngineError::Unavailable { reason } => {
+                write!(f, "model library unavailable: {reason}")
+            }
             EngineError::Flight(e) => write!(f, "coalesced module resolution failed: {e}"),
             EngineError::Cancelled => write!(f, "analysis cancelled"),
         }
@@ -70,6 +83,9 @@ impl EngineError {
                 reason: reason.clone(),
             },
             EngineError::Spec { reason } => EngineError::Spec {
+                reason: reason.clone(),
+            },
+            EngineError::Unavailable { reason } => EngineError::Unavailable {
                 reason: reason.clone(),
             },
             EngineError::Flight(e) => EngineError::Flight(std::sync::Arc::clone(e)),

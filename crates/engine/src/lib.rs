@@ -103,4 +103,8 @@ pub use grid::{CornerGrid, CornerGridBuilder, GridAxis};
 pub use pipeline::sweep::{ScenarioRecord, SweepOptions, SweepSummary};
 pub use scenario::{Scenario, ScenarioSet};
 pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
-pub use store::{ArtifactInfo, Codec, FsBackend, MemoryBackend, ModelStore, StorageBackend};
+pub use store::{
+    ArtifactInfo, BreakerState, Codec, FaultCounters, FaultInjectingBackend, FaultPlan, FsBackend,
+    MemoryBackend, ModelStore, NetworkModel, RemoteBackend, RetryOutcome, RetryPolicy,
+    StorageBackend, StoreHealth, TieredBackend, TieredOptions,
+};

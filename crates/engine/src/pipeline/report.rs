@@ -5,7 +5,7 @@
 //! [`std::fmt::Display`] with a compact one-line summary so examples and
 //! services can log a run without dumping fields by hand.
 
-use crate::store::Codec;
+use crate::store::{BreakerState, Codec, StoreHealth};
 use ssta_core::{DesignTiming, PhaseTimings};
 use std::fmt;
 
@@ -28,8 +28,16 @@ pub struct RunStats {
     pub memory_hits: usize,
     /// Modules served from the persistent model library.
     pub store_hits: usize,
+    /// Store lookups that came back a clean miss (the artifact simply
+    /// was not there) and fell through to extraction.
+    pub store_misses: usize,
     /// Store artifacts rejected as corrupt/mismatched and recomputed.
     pub store_rejects: usize,
+    /// Store *reads* that failed (transport down, retries exhausted,
+    /// circuit breaker open) and gracefully degraded to re-extraction.
+    /// The analysis still succeeded; only this counter shows the store
+    /// misbehaved.
+    pub store_degraded: usize,
     /// Models written to the persistent library in this run.
     pub store_writes: usize,
     /// Failed library writes (read-only mount, disk full, …). The cache
@@ -43,6 +51,16 @@ pub struct RunStats {
     pub store_bytes_read: u64,
     /// Codec used for library writes; `None` when no store is attached.
     pub store_codec: Option<Codec>,
+    /// Transport retries the backend stack performed during this run
+    /// (from the store's [`StoreHealth`] delta).
+    pub store_retries: u64,
+    /// Corrupt artifacts the backend stack quarantined during this run.
+    pub store_quarantined: u64,
+    /// Cold-tier circuit-breaker trips during this run.
+    pub store_breaker_trips: u64,
+    /// Circuit-breaker state when the run finished;
+    /// [`BreakerState::Closed`] for stacks without a breaker.
+    pub store_breaker: BreakerState,
     /// Wall-clock seconds resolving models (fingerprinting, cache
     /// lookups, parallel extraction).
     pub resolve_seconds: f64,
@@ -84,6 +102,9 @@ impl fmt::Display for RunStats {
         if self.store_rejects > 0 {
             write!(f, ", rejected {}", self.store_rejects)?;
         }
+        if self.store_degraded > 0 {
+            write!(f, ", degraded {}", self.store_degraded)?;
+        }
         if let Some(codec) = self.store_codec {
             write!(
                 f,
@@ -95,6 +116,20 @@ impl fmt::Display for RunStats {
             if self.store_write_failures > 0 {
                 write!(f, ", {} failed", self.store_write_failures)?;
             }
+        }
+        if self.store_retries > 0 || self.store_quarantined > 0 {
+            write!(
+                f,
+                " | retries {}, quarantined {}",
+                self.store_retries, self.store_quarantined
+            )?;
+        }
+        if self.store_breaker != BreakerState::Closed || self.store_breaker_trips > 0 {
+            write!(
+                f,
+                " | breaker {} ({} trips)",
+                self.store_breaker, self.store_breaker_trips
+            )?;
         }
         write!(
             f,
@@ -153,8 +188,13 @@ pub struct BatchStats {
     pub memory_hits: usize,
     /// Modules served from the persistent model library.
     pub store_hits: usize,
+    /// Store lookups that came back a clean miss.
+    pub store_misses: usize,
     /// Store artifacts rejected as corrupt/mismatched and recomputed.
     pub store_rejects: usize,
+    /// Store reads that failed and gracefully degraded to
+    /// re-extraction (the batch still completed).
+    pub store_degraded: usize,
     /// Models written to the persistent library.
     pub store_writes: usize,
     /// Failed (best-effort) library writes.
@@ -165,6 +205,14 @@ pub struct BatchStats {
     pub store_bytes_read: u64,
     /// Codec used for library writes; `None` when no store is attached.
     pub store_codec: Option<Codec>,
+    /// Transport retries the backend stack performed during the batch.
+    pub store_retries: u64,
+    /// Corrupt artifacts quarantined during the batch.
+    pub store_quarantined: u64,
+    /// Cold-tier circuit-breaker trips during the batch.
+    pub store_breaker_trips: u64,
+    /// Circuit-breaker state when the batch finished.
+    pub store_breaker: BreakerState,
     /// Wall-clock seconds for the whole batch, scenario fan-out included.
     pub elapsed_seconds: f64,
     /// Design-level phase times summed over all scenarios (CPU seconds,
@@ -179,12 +227,25 @@ impl BatchStats {
         self.coalesced += run.coalesced;
         self.memory_hits += run.memory_hits;
         self.store_hits += run.store_hits;
+        self.store_misses += run.store_misses;
         self.store_rejects += run.store_rejects;
+        self.store_degraded += run.store_degraded;
         self.store_writes += run.store_writes;
         self.store_write_failures += run.store_write_failures;
         self.store_bytes_written += run.store_bytes_written;
         self.store_bytes_read += run.store_bytes_read;
         self.phases.accumulate(&run.phases);
+    }
+
+    /// Folds a [`StoreHealth`] delta (the backend stack's counters over
+    /// this batch) into the health-derived fields. Attributed at the
+    /// batch boundary, not per scenario — scenarios share one backend
+    /// stack, so finer attribution would double-count under races.
+    pub(crate) fn absorb_health(&mut self, health: &StoreHealth) {
+        self.store_retries += health.retries;
+        self.store_quarantined += health.quarantined;
+        self.store_breaker_trips += health.breaker_trips;
+        self.store_breaker = health.breaker;
     }
 }
 
@@ -207,6 +268,9 @@ impl fmt::Display for BatchStats {
         if self.store_rejects > 0 {
             write!(f, ", rejected {}", self.store_rejects)?;
         }
+        if self.store_degraded > 0 {
+            write!(f, ", degraded {}", self.store_degraded)?;
+        }
         if let Some(codec) = self.store_codec {
             write!(
                 f,
@@ -219,6 +283,20 @@ impl fmt::Display for BatchStats {
             if self.store_write_failures > 0 {
                 write!(f, ", {} failed", self.store_write_failures)?;
             }
+        }
+        if self.store_retries > 0 || self.store_quarantined > 0 {
+            write!(
+                f,
+                " | retries {}, quarantined {}",
+                self.store_retries, self.store_quarantined
+            )?;
+        }
+        if self.store_breaker != BreakerState::Closed || self.store_breaker_trips > 0 {
+            write!(
+                f,
+                " | breaker {} ({} trips)",
+                self.store_breaker, self.store_breaker_trips
+            )?;
         }
         write!(f, " | {:.2} s", self.elapsed_seconds)
     }

@@ -37,8 +37,15 @@ enum Resolution {
     },
     /// Led the flight; characterized + extracted.
     Extracted {
-        /// A corrupt store artifact was rejected first.
+        /// The store was consulted and reported a clean miss.
+        missed: bool,
+        /// A corrupt store artifact was rejected first (integrity or
+        /// format defect in the artifact itself).
         rejected: bool,
+        /// The store *read* failed (transport down, retries exhausted,
+        /// breaker open) and the analysis degraded to re-extraction
+        /// instead of failing.
+        degraded: bool,
         /// Artifact bytes written on the best-effort store publish.
         wrote: Option<u64>,
         /// The best-effort store publish failed.
@@ -91,7 +98,9 @@ pub(crate) fn resolve_models(
             // flight (before it retires), so no later caller can slip
             // between publication and cache visibility and re-extract.
             let digest = spec.modules[idx].structural_digest();
+            let mut missed = false;
             let mut rejected = false;
+            let mut degraded = false;
             if let Some(store) = shared.store {
                 match store.load_traced(key) {
                     Ok(Some((model, info))) => {
@@ -102,9 +111,16 @@ pub(crate) fn resolve_models(
                         shared.cache.insert(digest, key.clone(), Arc::clone(&model));
                         return Ok(model);
                     }
-                    Ok(None) => {}
+                    Ok(None) => missed = true,
+                    Err(e) if e.is_cancelled() => return Err(e),
+                    // The artifact itself is defective: reject it,
+                    // count it, recompute it.
                     Err(EngineError::Store { .. }) => rejected = true,
-                    Err(e) => return Err(e),
+                    // The *read* failed — transport down, retries
+                    // exhausted, breaker open. Degrade to re-extraction
+                    // rather than failing the analysis: the store is an
+                    // accelerator, never a single point of failure.
+                    Err(_) => degraded = true,
                 }
             }
             let def = &spec.modules[idx];
@@ -121,7 +137,9 @@ pub(crate) fn resolve_models(
                 None => (None, false),
             };
             led_how = Some(Resolution::Extracted {
+                missed,
                 rejected,
+                degraded,
                 wrote,
                 write_failed,
             });
@@ -149,13 +167,21 @@ pub(crate) fn resolve_models(
                 stats.store_bytes_read += bytes;
             }
             Resolution::Extracted {
+                missed,
                 rejected,
+                degraded,
                 wrote,
                 write_failed,
             } => {
                 stats.extractions += 1;
+                if missed {
+                    stats.store_misses += 1;
+                }
                 if rejected {
                     stats.store_rejects += 1;
+                }
+                if degraded {
+                    stats.store_degraded += 1;
                 }
                 if let Some(bytes) = wrote {
                     stats.store_writes += 1;

@@ -141,12 +141,27 @@ pub struct SweepSummary {
     pub memory_hits: usize,
     /// Modules served from the persistent model library.
     pub store_hits: usize,
+    /// Store lookups that came back a clean miss.
+    pub store_misses: usize,
     /// Store artifacts rejected as corrupt/mismatched and recomputed.
     pub store_rejects: usize,
+    /// Store reads that failed and gracefully degraded to
+    /// re-extraction (the sweep still completed).
+    pub store_degraded: usize,
     /// Models written to the persistent library.
     pub store_writes: usize,
     /// Failed (best-effort) library writes.
     pub store_write_failures: usize,
+    /// Transport retries the backend stack performed during the sweep.
+    pub store_retries: u64,
+    /// Corrupt artifacts quarantined during the sweep.
+    pub store_quarantined: u64,
+    /// Cold-tier circuit-breaker trips during the sweep.
+    pub store_breaker_trips: u64,
+    /// Circuit-breaker state when the sweep finished;
+    /// [`BreakerState::Closed`](crate::BreakerState::Closed) for stacks
+    /// without a breaker.
+    pub store_breaker: crate::store::BreakerState,
     /// Worker threads the sweep ran with.
     pub workers: usize,
     /// Peak number of full [`DesignTiming`]s resident at once. In
@@ -198,6 +213,16 @@ impl fmt::Display for SweepSummary {
         )?;
         if self.coalesced > 0 {
             write!(f, ", coalesced {}", self.coalesced)?;
+        }
+        if self.store_degraded > 0 {
+            write!(f, ", degraded {}", self.store_degraded)?;
+        }
+        if self.store_retries > 0 || self.store_quarantined > 0 {
+            write!(
+                f,
+                " | retries {}, quarantined {}",
+                self.store_retries, self.store_quarantined
+            )?;
         }
         write!(
             f,
@@ -593,6 +618,9 @@ pub(crate) fn run_sweep(
     shared: &SharedState<'_>,
 ) -> Result<SweepSummary, EngineError> {
     let started = Instant::now();
+    // Health is attributed at the sweep boundary: groups share one
+    // backend stack, so per-group deltas would double-count.
+    let health_before = shared.store.map(|s| s.health()).unwrap_or_default();
     let groups = plan_sweep(grid, base_config, base_extract, base_mode);
 
     // Each claimed group gets the budget divided by the group fan-out,
@@ -701,7 +729,9 @@ pub(crate) fn run_sweep(
                     summary.coalesced += stats.coalesced;
                     summary.memory_hits += stats.memory_hits;
                     summary.store_hits += stats.store_hits;
+                    summary.store_misses += stats.store_misses;
                     summary.store_rejects += stats.store_rejects;
+                    summary.store_degraded += stats.store_degraded;
                     summary.store_writes += stats.store_writes;
                     summary.store_write_failures += stats.store_write_failures;
                     summary.phases.accumulate(&basis_phases);
@@ -740,6 +770,13 @@ pub(crate) fn run_sweep(
     }
     summary.distinct_fingerprints = distinct.len();
     summary.peak_retained_results = gauge.peak();
+    if let Some(store) = shared.store {
+        let health = store.health().delta(&health_before);
+        summary.store_retries = health.retries;
+        summary.store_quarantined = health.quarantined;
+        summary.store_breaker_trips = health.breaker_trips;
+        summary.store_breaker = health.breaker;
+    }
     summary.elapsed_seconds = started.elapsed().as_secs_f64();
     Ok(summary)
 }

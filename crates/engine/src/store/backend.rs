@@ -10,6 +10,7 @@
 //! object store all satisfy the same five-method contract and pass the
 //! same conformance suite.
 
+use super::health::StoreHealth;
 use crate::error::EngineError;
 use std::fmt;
 
@@ -95,6 +96,15 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     fn is_empty(&self) -> Result<bool, EngineError> {
         Ok(self.len()? == 0)
     }
+
+    /// Operational health of this backend (stack): fault-handling
+    /// counters plus the circuit-breaker gauge. Wrapper backends merge
+    /// their own counters with their inner backend's; plain backends
+    /// keep the default all-quiet snapshot. Never fails — health must
+    /// stay readable while the backend itself is misbehaving.
+    fn health(&self) -> StoreHealth {
+        StoreHealth::default()
+    }
 }
 
 macro_rules! delegate_backend {
@@ -123,6 +133,9 @@ macro_rules! delegate_backend {
             }
             fn is_empty(&self) -> Result<bool, EngineError> {
                 (**self).is_empty()
+            }
+            fn health(&self) -> StoreHealth {
+                (**self).health()
             }
         }
     };

@@ -1,0 +1,458 @@
+//! Deterministic fault injection for storage backends.
+//!
+//! A [`FaultInjectingBackend`] wraps any [`StorageBackend`] and makes
+//! it misbehave on a schedule: transient errors, injected latency,
+//! torn (short) writes, and bit-flip read corruption, all driven by a
+//! [`FaultPlan`]. The schedule is *deterministic and
+//! interleaving-independent*: whether the `j`-th get of key `K` fails
+//! is a pure function of `(plan.seed, K, op-kind, j)`, so the same
+//! plan replayed against the same access pattern injects the same
+//! faults no matter how threads race. That property is what lets the
+//! chaos suite assert bit-identical analysis results under faults —
+//! and lets CI pin one seed and reproduce any failure locally.
+//!
+//! Corruption and torn writes are injected on the *wire* (the bytes
+//! returned or stored), never in the wrapped backend's own state for
+//! reads — so a transiently corrupt read heals on retry, while a torn
+//! write persists rotten bytes exactly like a real partial upload.
+
+use super::backend::StorageBackend;
+use super::health::StoreHealth;
+use super::retry::{key_salt, splitmix64, unit_fraction};
+use crate::error::EngineError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A seed-keyed schedule of storage faults. All rates are probabilities
+/// in `[0, 1]` evaluated independently per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault draw; two backends with the same plan and
+    /// access pattern inject identical faults.
+    pub seed: u64,
+    /// Probability a `get` fails with a transient
+    /// [`EngineError::Unavailable`].
+    pub get_error_rate: f64,
+    /// Probability a `put` fails with a transient
+    /// [`EngineError::Unavailable`] (before any bytes are stored).
+    pub put_error_rate: f64,
+    /// Probability a successful `get` returns bytes with one bit
+    /// flipped (the stored artifact is untouched — a retry heals it).
+    pub corrupt_read_rate: f64,
+    /// Probability a `put` tears: a strict prefix of the bytes is
+    /// stored and the call still reports success, like a real partial
+    /// upload acknowledged by a buggy gateway.
+    pub torn_write_rate: f64,
+    /// Fraction of keys that are *stuck*: every get and put on them
+    /// fails, forever. Models a persistently bad shard; drives retry
+    /// exhaustion and graceful degradation in tests.
+    pub stuck_key_rate: f64,
+    /// Extra latency added to every operation (both directions).
+    pub latency: Duration,
+}
+
+impl Default for FaultPlan {
+    /// The empty plan: no faults, no latency. A backend wrapped with it
+    /// behaves identically to the bare backend (the conformance suite
+    /// checks this).
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            get_error_rate: 0.0,
+            put_error_rate: 0.0,
+            corrupt_read_rate: 0.0,
+            torn_write_rate: 0.0,
+            stuck_key_rate: 0.0,
+            latency: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan (alias for [`Default::default`]).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing (all rates zero, no latency).
+    pub fn is_empty(&self) -> bool {
+        *self
+            == FaultPlan {
+                seed: self.seed,
+                ..FaultPlan::default()
+            }
+    }
+
+    /// Whether `key` is stuck under this plan.
+    pub fn is_stuck(&self, key: &str) -> bool {
+        self.stuck_key_rate > 0.0
+            && unit_fraction(splitmix64(self.seed ^ key_salt(key).rotate_left(29)))
+                < self.stuck_key_rate
+    }
+
+    /// Draws a fault decision for the `index`-th operation of `kind` on
+    /// `key`: a uniform value in `[0, 1)` compared against a rate by
+    /// the caller. Pure function of `(seed, key, kind, index)`.
+    fn draw(&self, key: &str, kind: OpKind, index: u64) -> f64 {
+        unit_fraction(splitmix64(
+            self.seed
+                ^ key_salt(key).rotate_left(7)
+                ^ (kind as u64).rotate_left(47)
+                ^ index.rotate_left(23),
+        ))
+    }
+}
+
+/// Operation kinds with independent fault streams.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    GetError = 1,
+    GetCorrupt = 2,
+    PutError = 3,
+    PutTorn = 4,
+}
+
+/// Per-operation counters for what a [`FaultInjectingBackend`] actually
+/// did, readable any time via
+/// [`counters`](FaultInjectingBackend::counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// `get` calls observed.
+    pub gets: u64,
+    /// `put` calls observed.
+    pub puts: u64,
+    /// Transient errors injected into `get`s (stuck keys included).
+    pub get_errors: u64,
+    /// Transient errors injected into `put`s (stuck keys included).
+    pub put_errors: u64,
+    /// Reads returned with a flipped bit.
+    pub corrupt_reads: u64,
+    /// Writes that stored only a prefix.
+    pub torn_writes: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.get_errors + self.put_errors + self.corrupt_reads + self.torn_writes
+    }
+}
+
+/// A [`StorageBackend`] wrapper that injects faults per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjectingBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    /// Per-key, per-kind operation indices, so draw `j` on key `K` is
+    /// the same logical draw regardless of thread interleaving.
+    seq: Mutex<HashMap<(String, u8), u64>>,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    get_errors: AtomicU64,
+    put_errors: AtomicU64,
+    corrupt_reads: AtomicU64,
+    torn_writes: AtomicU64,
+}
+
+impl<B: StorageBackend> FaultInjectingBackend<B> {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultInjectingBackend {
+            inner,
+            plan,
+            seq: Mutex::new(HashMap::new()),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            get_errors: AtomicU64::new(0),
+            put_errors: AtomicU64::new(0),
+            corrupt_reads: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Snapshot of the per-operation fault counters.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            get_errors: self.get_errors.load(Ordering::Relaxed),
+            put_errors: self.put_errors.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flips one payload bit of the artifact stored under `key`,
+    /// *persistently* (in the wrapped backend). Test helper for
+    /// quarantine coverage: unlike `corrupt_read_rate`'s wire flips,
+    /// this corruption survives retries. Returns whether an artifact
+    /// existed to corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped backend's get/put errors.
+    pub fn corrupt_stored(&self, key: &str) -> Result<bool, EngineError> {
+        let Some(mut bytes) = self.inner.get(key)? else {
+            return Ok(false);
+        };
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x01;
+        }
+        self.inner.put(key, &bytes)?;
+        Ok(true)
+    }
+
+    /// Claims the next operation index for `(key, kind)`.
+    fn next_index(&self, key: &str, kind: OpKind) -> u64 {
+        let mut seq = self.seq.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = seq.entry((key.to_owned(), kind as u8)).or_insert(0);
+        let index = *slot;
+        *slot += 1;
+        index
+    }
+
+    fn pause(&self) {
+        if !self.plan.latency.is_zero() {
+            std::thread::sleep(self.plan.latency);
+        }
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultInjectingBackend<B> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, EngineError> {
+        self.pause();
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let stuck = self.plan.is_stuck(key);
+        if stuck
+            || self.plan.draw(
+                key,
+                OpKind::GetError,
+                self.next_index(key, OpKind::GetError),
+            ) < self.plan.get_error_rate
+        {
+            self.get_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Unavailable {
+                reason: if stuck {
+                    format!("injected fault: key `{key}` is stuck")
+                } else {
+                    format!("injected transient get failure on `{key}`")
+                },
+            });
+        }
+        let mut bytes = self.inner.get(key)?;
+        if let Some(b) = bytes.as_mut() {
+            if !b.is_empty()
+                && self.plan.draw(
+                    key,
+                    OpKind::GetCorrupt,
+                    self.next_index(key, OpKind::GetCorrupt),
+                ) < self.plan.corrupt_read_rate
+            {
+                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                // Flip a bit in the tail so the envelope header still
+                // parses and the *integrity stamp* is what catches it.
+                let at = b.len() - 1;
+                b[at] ^= 0x80;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), EngineError> {
+        self.pause();
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let stuck = self.plan.is_stuck(key);
+        if stuck
+            || self.plan.draw(
+                key,
+                OpKind::PutError,
+                self.next_index(key, OpKind::PutError),
+            ) < self.plan.put_error_rate
+        {
+            self.put_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Unavailable {
+                reason: if stuck {
+                    format!("injected fault: key `{key}` is stuck")
+                } else {
+                    format!("injected transient put failure on `{key}`")
+                },
+            });
+        }
+        if bytes.len() > 1
+            && self
+                .plan
+                .draw(key, OpKind::PutTorn, self.next_index(key, OpKind::PutTorn))
+                < self.plan.torn_write_rate
+        {
+            self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            // Store a strict prefix and report success, like a partial
+            // upload a buggy gateway acknowledged anyway.
+            return self.inner.put(key, &bytes[..bytes.len() / 2]);
+        }
+        self.inner.put(key, bytes)
+    }
+
+    fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        self.pause();
+        self.inner.remove(key)
+    }
+
+    fn list_keys(&self) -> Result<Vec<String>, EngineError> {
+        self.pause();
+        self.inner.list_keys()
+    }
+
+    fn clear(&self) -> Result<(), EngineError> {
+        self.pause();
+        self.inner.clear()
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, EngineError> {
+        self.inner.contains(key)
+    }
+
+    fn len(&self) -> Result<usize, EngineError> {
+        self.inner.len()
+    }
+
+    fn is_empty(&self) -> Result<bool, EngineError> {
+        self.inner.is_empty()
+    }
+
+    fn health(&self) -> StoreHealth {
+        let mine = StoreHealth {
+            faults_injected: self.counters().total(),
+            ..StoreHealth::default()
+        };
+        mine.merged(&self.inner.health())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MemoryBackend;
+    use super::*;
+
+    fn key(fill: u8) -> String {
+        (0..64).map(|_| (b'a' + fill % 6) as char).collect()
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let backend = FaultInjectingBackend::new(MemoryBackend::new(), FaultPlan::none());
+        assert!(FaultPlan::none().is_empty());
+        backend.put(&key(0), b"payload").unwrap();
+        assert_eq!(backend.get(&key(0)).unwrap().unwrap(), b"payload");
+        assert_eq!(backend.counters().total(), 0);
+        assert_eq!(backend.health(), StoreHealth::default());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_across_instances() {
+        let plan = FaultPlan {
+            seed: 7,
+            get_error_rate: 0.5,
+            put_error_rate: 0.5,
+            corrupt_read_rate: 0.5,
+            torn_write_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let backend = FaultInjectingBackend::new(MemoryBackend::new(), plan);
+            let mut trace = Vec::new();
+            for i in 0..4u8 {
+                let k = key(i);
+                for _ in 0..6 {
+                    trace.push(backend.put(&k, b"some payload bytes").is_ok());
+                    trace.push(matches!(backend.get(&k), Ok(Some(_))));
+                }
+            }
+            (trace, backend.counters())
+        };
+        let (trace_a, counters_a) = run();
+        let (trace_b, counters_b) = run();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(counters_a, counters_b);
+        assert!(counters_a.total() > 0, "rates of 0.5 must inject something");
+    }
+
+    #[test]
+    fn stuck_keys_always_fail_both_ways() {
+        let plan = FaultPlan {
+            seed: 3,
+            stuck_key_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(MemoryBackend::new(), plan);
+        let k = key(0);
+        assert!(plan.is_stuck(&k));
+        for _ in 0..3 {
+            assert!(matches!(
+                backend.put(&k, b"x"),
+                Err(EngineError::Unavailable { .. })
+            ));
+            assert!(matches!(
+                backend.get(&k),
+                Err(EngineError::Unavailable { .. })
+            ));
+        }
+        assert_eq!(backend.counters().get_errors, 3);
+        assert_eq!(backend.counters().put_errors, 3);
+        assert_eq!(backend.health().faults_injected, 6);
+    }
+
+    #[test]
+    fn wire_corruption_heals_but_torn_writes_persist() {
+        // Corrupt every read on the wire: stored bytes stay pristine.
+        let plan = FaultPlan {
+            seed: 1,
+            corrupt_read_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(MemoryBackend::new(), plan);
+        let k = key(1);
+        backend.put(&k, b"pristine").unwrap();
+        assert_ne!(backend.get(&k).unwrap().unwrap(), b"pristine");
+        assert_eq!(backend.inner().get(&k).unwrap().unwrap(), b"pristine");
+
+        // Tear every write: stored bytes are a strict prefix.
+        let plan = FaultPlan {
+            seed: 1,
+            torn_write_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(MemoryBackend::new(), plan);
+        backend.put(&k, b"full payload").unwrap();
+        let stored = backend.inner().get(&k).unwrap().unwrap();
+        assert!(stored.len() < b"full payload".len());
+        assert_eq!(&b"full payload"[..stored.len()], &stored[..]);
+        assert_eq!(backend.counters().torn_writes, 1);
+    }
+
+    #[test]
+    fn corrupt_stored_flips_a_bit_in_place() {
+        let backend = FaultInjectingBackend::new(MemoryBackend::new(), FaultPlan::none());
+        let k = key(2);
+        assert!(
+            !backend.corrupt_stored(&k).unwrap(),
+            "nothing to corrupt yet"
+        );
+        backend.put(&k, b"artifact").unwrap();
+        assert!(backend.corrupt_stored(&k).unwrap());
+        let stored = backend.get(&k).unwrap().unwrap();
+        assert_ne!(stored, b"artifact");
+        assert_eq!(stored.len(), b"artifact".len());
+    }
+}

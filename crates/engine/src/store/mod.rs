@@ -13,9 +13,14 @@
 //!   version, payload codec (v2), length, integrity stamp.
 //! * **[`StorageBackend`]** — raw byte transport:
 //!   [`FsBackend`] (sharded local filesystem, atomic
-//!   temp-file+rename writes) and [`MemoryBackend`] (mutex-guarded
-//!   in-process map) ship today; a remote object store fits behind the
-//!   same five-method contract.
+//!   temp-file+rename writes), [`MemoryBackend`] (mutex-guarded
+//!   in-process map), [`RemoteBackend`] (content-addressed get/put
+//!   over an unreliable transport with retry, integrity re-check and
+//!   quarantine), [`TieredBackend`] (hot in-memory tier over a cold
+//!   backend, with LRU eviction and a circuit breaker), and
+//!   [`FaultInjectingBackend`] (deterministic chaos wrapper for tests
+//!   and benches) — all behind the same contract, all passing the same
+//!   conformance suite, all reporting [`StoreHealth`].
 //!
 //! # Artifact format
 //!
@@ -51,13 +56,23 @@
 
 mod backend;
 pub mod envelope;
+mod fault;
 mod fs;
+mod health;
 mod memory;
+mod remote;
+mod retry;
+mod tiered;
 
 pub use backend::StorageBackend;
 pub use envelope::{decode_envelope, encode_envelope, Codec, Envelope, FORMAT_VERSION, MAGIC};
+pub use fault::{FaultCounters, FaultInjectingBackend, FaultPlan};
 pub use fs::FsBackend;
+pub use health::{BreakerState, StoreHealth};
 pub use memory::MemoryBackend;
+pub use remote::{NetworkModel, RemoteBackend};
+pub use retry::{RetryOutcome, RetryPolicy};
+pub use tiered::{TieredBackend, TieredOptions};
 
 use crate::error::EngineError;
 use ssta_core::TimingModel;
@@ -151,6 +166,13 @@ impl<B: StorageBackend> ModelStore<B> {
     /// The underlying backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Operational health of the backend stack: retries, quarantines,
+    /// tier traffic, circuit-breaker state. All-quiet for plain
+    /// backends.
+    pub fn health(&self) -> StoreHealth {
+        self.backend.health()
     }
 
     /// Type-erases the backend, for holders that must name a single

@@ -1,0 +1,263 @@
+//! Bounded, deterministic retry with exponential backoff.
+//!
+//! [`RetryPolicy`] drives the [`RemoteBackend`](super::RemoteBackend)'s
+//! transport calls: a bounded number of attempts, exponential backoff
+//! between them, and *deterministic* jitter — the jitter fraction for
+//! attempt `n` of operation `salt` is a pure function of
+//! `(seed, salt, n)`, so a replayed fault schedule produces the exact
+//! same timing decisions regardless of thread interleaving. Which
+//! errors are worth retrying is the caller's call (a closure), because
+//! only the backend knows whether an integrity failure means "wire
+//! corruption, re-read" or "stored bytes are rotten, quarantine".
+
+use crate::error::EngineError;
+use std::time::Duration;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used for all
+/// deterministic fault/jitter draws in the store subsystem — the output
+/// depends only on the input word, never on call order.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a hash of a key string: the per-operation salt fed into
+/// [`splitmix64`] so different keys draw independent fault/jitter
+/// streams.
+pub(crate) fn key_salt(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Maps a hash word onto the unit interval `[0, 1)` with 53 bits of
+/// precision.
+pub(crate) fn unit_fraction(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How many attempts an operation gets and how long to wait between
+/// them.
+///
+/// The delay before retry `n` (1-based) is
+/// `min(base_delay · multiplier^(n-1), max_delay)`, scaled by a
+/// deterministic jitter factor drawn from `[1 − jitter, 1 + jitter]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Growth factor applied per retry.
+    pub multiplier: f64,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Jitter half-width as a fraction of the delay, in `[0, 1]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms → 4 ms backoff with ±25 % jitter — tuned
+    /// for an in-process simulated transport, not a real WAN.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(50),
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// What a [`RetryPolicy`] run did, alongside its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Attempts actually made (≥ 1).
+    pub attempts: u32,
+    /// Retries performed (`attempts − 1`).
+    pub retries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the jitter seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff delay before retry `retry_index` (1-based) of the
+    /// operation salted with `salt`, jitter included. Pure: same
+    /// inputs, same delay.
+    pub fn delay_for(&self, salt: u64, retry_index: u32) -> Duration {
+        let exp = self.multiplier.powi(retry_index.saturating_sub(1) as i32);
+        let raw = self.base_delay.as_secs_f64() * exp;
+        let capped = raw.min(self.max_delay.as_secs_f64());
+        let draw = unit_fraction(splitmix64(
+            self.seed ^ salt.rotate_left(17) ^ u64::from(retry_index),
+        ));
+        let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * draw - 1.0);
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+
+    /// Runs `op` under this policy: up to [`max_attempts`](Self::max_attempts)
+    /// tries, sleeping the jittered backoff between them, retrying only
+    /// errors `is_retryable` accepts. Returns the final result plus the
+    /// attempt count; the error returned after exhaustion is the last
+    /// attempt's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first non-retryable error immediately, or the
+    /// last retryable error once attempts are exhausted.
+    pub fn run<T>(
+        &self,
+        salt: u64,
+        is_retryable: impl Fn(&EngineError) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, EngineError>,
+    ) -> (Result<T, EngineError>, RetryOutcome) {
+        let attempts_allowed = self.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(v) => {
+                    return (
+                        Ok(v),
+                        RetryOutcome {
+                            attempts: attempt,
+                            retries: attempt - 1,
+                        },
+                    )
+                }
+                Err(e) if attempt < attempts_allowed && is_retryable(&e) => {
+                    std::thread::sleep(self.delay_for(salt, attempt));
+                }
+                Err(e) => {
+                    return (
+                        Err(e),
+                        RetryOutcome {
+                            attempts: attempt,
+                            retries: attempt - 1,
+                        },
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default().with_seed(42);
+        for retry in 1..=4 {
+            let a = policy.delay_for(7, retry);
+            let b = policy.delay_for(7, retry);
+            assert_eq!(a, b, "same inputs must draw the same delay");
+            let nominal = policy.base_delay.as_secs_f64()
+                * policy
+                    .multiplier
+                    .powi(retry as i32 - 1)
+                    .min(policy.max_delay.as_secs_f64() / policy.base_delay.as_secs_f64());
+            let secs = a.as_secs_f64();
+            assert!(
+                secs >= nominal * (1.0 - policy.jitter) - 1e-12
+                    && secs <= nominal * (1.0 + policy.jitter) + 1e-12,
+                "retry {retry}: {secs} outside jitter band around {nominal}"
+            );
+        }
+        // Different salts draw different jitter.
+        assert_ne!(policy.delay_for(1, 1), policy.delay_for(2, 1));
+    }
+
+    #[test]
+    fn run_retries_transients_and_stops_on_fatal() {
+        let policy = RetryPolicy {
+            base_delay: Duration::ZERO,
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let retryable = |e: &EngineError| matches!(e, EngineError::Unavailable { .. });
+
+        // Succeeds on the third attempt.
+        let (res, out) = policy.run(0, retryable, |attempt| {
+            if attempt < 3 {
+                Err(EngineError::Unavailable {
+                    reason: "transient".into(),
+                })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(
+            out,
+            RetryOutcome {
+                attempts: 3,
+                retries: 2
+            }
+        );
+
+        // Fatal errors are not retried.
+        let (res, out) = policy.run(0, retryable, |_| -> Result<(), _> {
+            Err(EngineError::Store {
+                reason: "rotten".into(),
+            })
+        });
+        assert!(matches!(res, Err(EngineError::Store { .. })));
+        assert_eq!(out.attempts, 1);
+
+        // Exhaustion returns the last transient error.
+        let (res, out) = policy.run(0, retryable, |_| -> Result<(), _> {
+            Err(EngineError::Unavailable {
+                reason: "still down".into(),
+            })
+        });
+        assert!(matches!(res, Err(EngineError::Unavailable { .. })));
+        assert_eq!(
+            out,
+            RetryOutcome {
+                attempts: 4,
+                retries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn none_policy_makes_exactly_one_attempt() {
+        let policy = RetryPolicy::none();
+        let mut calls = 0;
+        let (res, out) = policy.run(
+            0,
+            |_| true,
+            |_| -> Result<(), _> {
+                calls += 1;
+                Err(EngineError::Unavailable { reason: "x".into() })
+            },
+        );
+        assert!(res.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(out.retries, 0);
+    }
+}

@@ -1,0 +1,535 @@
+//! The tiered backend: an in-memory hot tier over a cold tier, with a
+//! circuit breaker on the cold path.
+//!
+//! A [`TieredBackend`] serves reads from a byte-bounded in-memory hot
+//! tier first, falling back to the cold tier
+//! ([`FsBackend`](super::FsBackend), [`RemoteBackend`](super::RemoteBackend),
+//! anything implementing [`StorageBackend`]) and **promoting** cold
+//! hits into the hot tier. Writes go **write-through**: hot first, then
+//! cold, so the freshest artifact is always servable even while the
+//! cold tier is down. The hot tier evicts least-recently-used entries
+//! to stay under its byte budget — but never a key with an operation in
+//! flight (reads mid-promotion, writes mid-through), so a concurrent
+//! reader cannot lose the bytes out from under itself.
+//!
+//! The cold path runs behind a **circuit breaker**: after
+//! `breaker_threshold` consecutive cold-tier failures it *trips open*
+//! and refuses cold traffic outright (fast-failing with
+//! [`EngineError::Unavailable`] instead of hammering a dead store),
+//! then *half-opens* after a cooldown to let a single probe through.
+//! A successful probe re-closes the breaker; a failed one re-opens it
+//! with a doubled (capped) cooldown. Hot-tier hits keep flowing the
+//! whole time — a tripped breaker degrades cold reads, it never blocks
+//! warm traffic.
+
+use super::backend::StorageBackend;
+use super::health::{BreakerState, StoreHealth};
+use crate::error::EngineError;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Capacity and circuit-breaker tuning for a [`TieredBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredOptions {
+    /// Hot-tier byte budget; least-recently-used entries are evicted to
+    /// stay under it. `0` disables the hot tier (every read goes cold).
+    pub hot_capacity_bytes: usize,
+    /// Consecutive cold-tier failures that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// Cooldown before a tripped breaker half-opens for a probe.
+    pub breaker_cooldown: Duration,
+    /// Ceiling on the cooldown as consecutive re-trips double it.
+    pub breaker_max_cooldown: Duration,
+}
+
+impl Default for TieredOptions {
+    /// 64 MiB hot tier; breaker trips after 3 consecutive failures,
+    /// probes after 100 ms, backs off to at most 5 s.
+    fn default() -> Self {
+        TieredOptions {
+            hot_capacity_bytes: 64 << 20,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(100),
+            breaker_max_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One hot-tier entry: the bytes plus its last-touched tick for LRU.
+#[derive(Debug)]
+struct HotEntry {
+    bytes: Vec<u8>,
+    touched: u64,
+}
+
+/// The in-memory hot tier: an LRU-by-tick map with byte accounting.
+#[derive(Debug, Default)]
+struct HotTier {
+    entries: BTreeMap<String, HotEntry>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+impl HotTier {
+    fn touch(&mut self, key: &str) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.touched = tick;
+            e.bytes.clone()
+        })
+    }
+
+    fn insert(&mut self, key: &str, bytes: &[u8]) {
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key.to_owned(),
+            HotEntry {
+                bytes: bytes.to_vec(),
+                touched: self.tick,
+            },
+        ) {
+            self.total_bytes -= old.bytes.len();
+        }
+        self.total_bytes += bytes.len();
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        if let Some(old) = self.entries.remove(key) {
+            self.total_bytes -= old.bytes.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts LRU entries until the tier fits `capacity`, skipping
+    /// pinned (in-flight) keys; stops early if only pinned keys remain.
+    /// Returns how many entries were evicted.
+    fn evict_to(&mut self, capacity: usize, pinned: &HashMap<String, usize>) -> u64 {
+        let mut evicted = 0;
+        while self.total_bytes > capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| !pinned.contains_key(k.as_str()))
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else {
+                break; // everything left is in flight
+            };
+            self.remove(&key);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The cold-path circuit breaker's internal state machine.
+#[derive(Debug)]
+enum Breaker {
+    /// Flowing; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Refusing cold traffic until `until`; `streak` counts consecutive
+    /// trips for cooldown escalation.
+    Open { until: Instant, streak: u32 },
+    /// One probe is in flight; everyone else is refused.
+    HalfOpen { streak: u32 },
+}
+
+/// An in-memory hot tier over a cold [`StorageBackend`], with
+/// promote-on-hit, write-through, pinned LRU eviction, and a cold-path
+/// circuit breaker.
+#[derive(Debug)]
+pub struct TieredBackend<C> {
+    cold: C,
+    options: TieredOptions,
+    hot: Mutex<HotTier>,
+    /// Refcounts of keys with operations in flight — never evicted.
+    pins: Mutex<HashMap<String, usize>>,
+    breaker: Mutex<Breaker>,
+    hot_hits: AtomicU64,
+    promotions: AtomicU64,
+    evictions: AtomicU64,
+    cold_failures: AtomicU64,
+    breaker_trips: AtomicU64,
+}
+
+/// RAII pin on a hot-tier key: while held, the key cannot be evicted.
+struct Pin<'a> {
+    pins: &'a Mutex<HashMap<String, usize>>,
+    key: String,
+}
+
+impl<'a> Pin<'a> {
+    fn new(pins: &'a Mutex<HashMap<String, usize>>, key: &str) -> Self {
+        *pins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key.to_owned())
+            .or_insert(0) += 1;
+        Pin {
+            pins,
+            key: key.to_owned(),
+        }
+    }
+}
+
+impl Drop for Pin<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = pins.get_mut(&self.key) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.key);
+            }
+        }
+    }
+}
+
+impl<C: StorageBackend> TieredBackend<C> {
+    /// Stacks an in-memory hot tier over `cold` with the given tuning.
+    pub fn new(cold: C, options: TieredOptions) -> Self {
+        TieredBackend {
+            cold,
+            options,
+            hot: Mutex::new(HotTier::default()),
+            pins: Mutex::new(HashMap::new()),
+            breaker: Mutex::new(Breaker::Closed { failures: 0 }),
+            hot_hits: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cold_failures: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Stacks with the default tuning ([`TieredOptions::default`]).
+    pub fn with_defaults(cold: C) -> Self {
+        TieredBackend::new(cold, TieredOptions::default())
+    }
+
+    /// The cold-tier backend.
+    pub fn cold(&self) -> &C {
+        &self.cold
+    }
+
+    /// The active tuning.
+    pub fn options(&self) -> &TieredOptions {
+        &self.options
+    }
+
+    /// Current hot-tier payload bytes (always ≤ the budget between
+    /// operations).
+    pub fn hot_bytes(&self) -> usize {
+        self.lock_hot().total_bytes
+    }
+
+    /// The circuit breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        match *self.lock_breaker() {
+            Breaker::Closed { .. } => BreakerState::Closed,
+            Breaker::Open { .. } => BreakerState::Open,
+            Breaker::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    fn lock_hot(&self) -> std::sync::MutexGuard<'_, HotTier> {
+        self.hot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_breaker(&self) -> std::sync::MutexGuard<'_, Breaker> {
+        self.breaker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts into the hot tier and evicts back under budget.
+    fn admit_hot(&self, key: &str, bytes: &[u8]) {
+        if self.options.hot_capacity_bytes == 0 {
+            return;
+        }
+        let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        let mut hot = self.lock_hot();
+        hot.insert(key, bytes);
+        let evicted = hot.evict_to(self.options.hot_capacity_bytes, &pins);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs `op` against the cold tier under the breaker: refuses
+    /// fast when open, lets one probe through when half-open, and feeds
+    /// successes/failures back into the state machine.
+    fn cold_call<T>(
+        &self,
+        op: impl FnOnce(&C) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        {
+            let mut breaker = self.lock_breaker();
+            match *breaker {
+                Breaker::Closed { .. } => {}
+                Breaker::Open { until, streak } => {
+                    if Instant::now() < until {
+                        return Err(EngineError::Unavailable {
+                            reason: "cold-tier circuit breaker is open".into(),
+                        });
+                    }
+                    // Cooldown elapsed: this call becomes the probe.
+                    *breaker = Breaker::HalfOpen { streak };
+                }
+                Breaker::HalfOpen { .. } => {
+                    // A probe is already in flight; don't pile on.
+                    return Err(EngineError::Unavailable {
+                        reason: "cold-tier circuit breaker is probing".into(),
+                    });
+                }
+            }
+        }
+        let result = op(&self.cold);
+        let mut breaker = self.lock_breaker();
+        match result {
+            Ok(v) => {
+                *breaker = Breaker::Closed { failures: 0 };
+                Ok(v)
+            }
+            Err(e) => {
+                self.cold_failures.fetch_add(1, Ordering::Relaxed);
+                let trip = |streak: u32| {
+                    let factor = 1u32 << streak.min(16);
+                    let cooldown = (self.options.breaker_cooldown * factor)
+                        .min(self.options.breaker_max_cooldown);
+                    Breaker::Open {
+                        until: Instant::now() + cooldown,
+                        streak: streak + 1,
+                    }
+                };
+                match *breaker {
+                    Breaker::Closed { failures } => {
+                        let failures = failures + 1;
+                        if failures >= self.options.breaker_threshold.max(1) {
+                            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                            *breaker = trip(0);
+                        } else {
+                            *breaker = Breaker::Closed { failures };
+                        }
+                    }
+                    Breaker::HalfOpen { streak } => {
+                        // Failed probe: re-open with escalated cooldown.
+                        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        *breaker = trip(streak);
+                    }
+                    // Another thread already re-opened it; leave as is.
+                    Breaker::Open { .. } => {}
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl<C: StorageBackend> StorageBackend for TieredBackend<C> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, EngineError> {
+        let _pin = Pin::new(&self.pins, key);
+        if let Some(bytes) = self.lock_hot().touch(key) {
+            self.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(bytes));
+        }
+        match self.cold_call(|c| c.get(key))? {
+            Some(bytes) => {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                self.admit_hot(key, &bytes);
+                Ok(Some(bytes))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), EngineError> {
+        let _pin = Pin::new(&self.pins, key);
+        // Hot first: the artifact is servable even if the cold
+        // write-through fails below (the caller still sees that
+        // failure and can count it).
+        self.admit_hot(key, bytes);
+        self.cold_call(|c| c.put(key, bytes))
+    }
+
+    fn remove(&self, key: &str) -> Result<bool, EngineError> {
+        let hot_removed = self.lock_hot().remove(key);
+        let cold_removed = self.cold_call(|c| c.remove(key))?;
+        Ok(hot_removed || cold_removed)
+    }
+
+    fn list_keys(&self) -> Result<Vec<String>, EngineError> {
+        let mut keys: BTreeSet<String> = self.cold.list_keys()?.into_iter().collect();
+        keys.extend(self.lock_hot().entries.keys().cloned());
+        Ok(keys.into_iter().collect())
+    }
+
+    fn clear(&self) -> Result<(), EngineError> {
+        {
+            let mut hot = self.lock_hot();
+            hot.entries.clear();
+            hot.total_bytes = 0;
+        }
+        self.cold.clear()
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, EngineError> {
+        if self.lock_hot().entries.contains_key(key) {
+            return Ok(true);
+        }
+        self.cold.contains(key)
+    }
+
+    fn len(&self) -> Result<usize, EngineError> {
+        self.list_keys().map(|k| k.len())
+    }
+
+    fn is_empty(&self) -> Result<bool, EngineError> {
+        Ok(self.lock_hot().entries.is_empty() && self.cold.is_empty()?)
+    }
+
+    fn health(&self) -> StoreHealth {
+        let mine = StoreHealth {
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cold_failures: self.cold_failures.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker: self.breaker_state(),
+            ..StoreHealth::default()
+        };
+        mine.merged(&self.cold.health())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fault::{FaultInjectingBackend, FaultPlan};
+    use super::super::MemoryBackend;
+    use super::*;
+
+    fn key(fill: char) -> String {
+        String::from(fill).repeat(64)
+    }
+
+    fn small_options() -> TieredOptions {
+        TieredOptions {
+            hot_capacity_bytes: 64,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(5),
+            breaker_max_cooldown: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn hot_hits_and_promotions_are_counted() {
+        let tiered = TieredBackend::with_defaults(MemoryBackend::new());
+        let k = key('a');
+        tiered.put(&k, b"payload").unwrap();
+        // Write-through put admits hot: the first read is a hot hit.
+        assert_eq!(tiered.get(&k).unwrap().unwrap(), b"payload");
+        assert_eq!(tiered.health().hot_hits, 1);
+        assert_eq!(tiered.health().promotions, 0);
+
+        // Drop the hot entry; the next read promotes from cold.
+        tiered.lock_hot().remove(&k);
+        assert_eq!(tiered.get(&k).unwrap().unwrap(), b"payload");
+        assert_eq!(tiered.health().promotions, 1);
+        assert_eq!(tiered.get(&k).unwrap().unwrap(), b"payload");
+        assert_eq!(tiered.health().hot_hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget_and_recency() {
+        let tiered = TieredBackend::new(MemoryBackend::new(), small_options());
+        let (ka, kb, kc) = (key('a'), key('b'), key('c'));
+        tiered.put(&ka, &[1u8; 30]).unwrap();
+        tiered.put(&kb, &[2u8; 30]).unwrap();
+        assert_eq!(tiered.hot_bytes(), 60);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        tiered.get(&ka).unwrap();
+        tiered.put(&kc, &[3u8; 30]).unwrap();
+        assert!(tiered.hot_bytes() <= 64);
+        assert!(tiered.health().evictions >= 1);
+        let hot = tiered.lock_hot();
+        assert!(hot.entries.contains_key(&kc), "newest stays");
+        assert!(!hot.entries.contains_key(&kb), "LRU victim evicted");
+        drop(hot);
+        // The evicted artifact is still servable from cold.
+        assert_eq!(tiered.get(&kb).unwrap().unwrap(), vec![2u8; 30]);
+    }
+
+    #[test]
+    fn pinned_keys_survive_eviction_pressure() {
+        let tiered = TieredBackend::new(MemoryBackend::new(), small_options());
+        let (ka, kb) = (key('a'), key('b'));
+        tiered.put(&ka, &[1u8; 40]).unwrap();
+        {
+            let _pin = Pin::new(&tiered.pins, &ka);
+            // `a` is the LRU victim, but it's pinned: `b` itself must
+            // not displace it... so `b` gets admitted and the tier runs
+            // over budget until the pin releases.
+            tiered.put(&kb, &[2u8; 40]).unwrap();
+            assert!(tiered.lock_hot().entries.contains_key(&ka));
+        }
+        // Pin released: the next admission evicts back under budget.
+        tiered.put(&key('c'), &[3u8; 10]).unwrap();
+        assert!(tiered.hot_bytes() <= 64);
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_and_recovers_via_probe() {
+        let plan = FaultPlan {
+            seed: 2,
+            stuck_key_rate: 1.0, // every key fails, always
+            ..FaultPlan::default()
+        };
+        let tiered = TieredBackend::new(
+            FaultInjectingBackend::new(MemoryBackend::new(), plan),
+            small_options(),
+        );
+        let k = key('a');
+        // Two consecutive cold failures trip the breaker.
+        assert!(tiered.get(&k).is_err());
+        assert!(tiered.get(&k).is_err());
+        assert_eq!(tiered.breaker_state(), BreakerState::Open);
+        assert_eq!(tiered.health().breaker_trips, 1);
+        // While open, cold calls fast-fail without touching the
+        // backend.
+        let cold_gets_before = tiered.cold().counters().gets;
+        assert!(matches!(
+            tiered.get(&k),
+            Err(EngineError::Unavailable { .. })
+        ));
+        assert_eq!(tiered.cold().counters().gets, cold_gets_before);
+
+        // After the cooldown a probe goes through; it fails (backend
+        // still stuck) and re-opens with a longer cooldown.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(tiered.get(&k).is_err());
+        assert_eq!(tiered.breaker_state(), BreakerState::Open);
+        assert_eq!(tiered.health().breaker_trips, 2);
+
+        // Hot-tier traffic keeps flowing while the breaker is open.
+        let healthy = TieredBackend::new(MemoryBackend::new(), small_options());
+        let kb = key('b');
+        healthy.put(&kb, b"warm").unwrap();
+        *healthy.lock_breaker() = Breaker::Open {
+            until: Instant::now() + Duration::from_secs(60),
+            streak: 1,
+        };
+        assert_eq!(healthy.get(&kb).unwrap().unwrap(), b"warm");
+
+        // A healthy probe re-closes the breaker.
+        *healthy.lock_breaker() = Breaker::Open {
+            until: Instant::now(),
+            streak: 3,
+        };
+        let kc = key('c');
+        healthy.cold().put(&kc, b"cold only").unwrap();
+        assert_eq!(healthy.get(&kc).unwrap().unwrap(), b"cold only");
+        assert_eq!(healthy.breaker_state(), BreakerState::Closed);
+    }
+}

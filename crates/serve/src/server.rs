@@ -59,6 +59,11 @@ struct Shared {
     queue: SubmitQueue,
     counters: Counters,
     next_id: AtomicU64,
+    /// A handle on the shared backend stack, held only to read its
+    /// [`health`](StorageBackend::health) into snapshots — retries,
+    /// quarantines and breaker state are store-wide facts the request
+    /// counters cannot see.
+    store_view: Box<dyn StorageBackend>,
 }
 
 /// An in-process SSTA analysis server.
@@ -96,6 +101,7 @@ impl Server {
             ),
             counters: Counters::default(),
             next_id: AtomicU64::new(0),
+            store_view: Box::new(backend.clone()),
         });
         let flights = FlightGroup::new();
         let workers = (0..worker_count)
@@ -175,9 +181,13 @@ impl Server {
         self.workers.len()
     }
 
-    /// A point-in-time aggregate of everything served so far.
+    /// A point-in-time aggregate of everything served so far, including
+    /// the shared backend stack's health (retries, quarantines,
+    /// breaker state).
     pub fn snapshot(&self) -> ServerSnapshot {
-        self.shared.counters.snapshot()
+        self.shared
+            .counters
+            .snapshot(&self.shared.store_view.health())
     }
 
     /// Graceful shutdown: workers drain every queued request (each
@@ -190,7 +200,9 @@ impl Server {
         for worker in self.workers {
             worker.join().expect("serve worker panicked");
         }
-        self.shared.counters.snapshot()
+        self.shared
+            .counters
+            .snapshot(&self.shared.store_view.health())
     }
 }
 
@@ -218,18 +230,20 @@ fn worker_loop(index: usize, mut engine: Engine, shared: &Shared) {
         let counters = &shared.counters;
         let outcome = match result {
             Ok(outcome) => {
-                let (extractions, coalesced, memory_hits, store_hits) = match &outcome {
+                let (extractions, coalesced, memory_hits, store_hits, degraded) = match &outcome {
                     Outcome::Completed(run) => (
                         run.stats.extractions,
                         run.stats.coalesced,
                         run.stats.memory_hits,
                         run.stats.store_hits,
+                        run.stats.store_degraded,
                     ),
                     Outcome::Swept(summary) => (
                         summary.extractions,
                         summary.coalesced,
                         summary.memory_hits,
                         summary.store_hits,
+                        summary.store_degraded,
                     ),
                     _ => unreachable!("engine success maps to a completed outcome"),
                 };
@@ -238,6 +252,7 @@ fn worker_loop(index: usize, mut engine: Engine, shared: &Shared) {
                 counters.add(&counters.coalesced, coalesced as u64);
                 counters.add(&counters.memory_hits, memory_hits as u64);
                 counters.add(&counters.store_hits, store_hits as u64);
+                counters.add(&counters.degraded, degraded as u64);
                 outcome
             }
             Err(e) if e.is_cancelled() => {

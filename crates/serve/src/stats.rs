@@ -1,5 +1,6 @@
 //! Server-level accounting: lock-free counters and their snapshot.
 
+use ssta_engine::{BreakerState, StoreHealth};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -17,6 +18,7 @@ pub(crate) struct Counters {
     pub coalesced: AtomicU64,
     pub memory_hits: AtomicU64,
     pub store_hits: AtomicU64,
+    pub degraded: AtomicU64,
     pub queue_wait_nanos: AtomicU64,
     pub service_nanos: AtomicU64,
     sequence: AtomicU64,
@@ -32,7 +34,10 @@ impl Counters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self) -> ServerSnapshot {
+    /// Builds a snapshot from the request counters plus the shared
+    /// backend stack's *absolute* health (retries/quarantines are
+    /// store-wide facts, not per-request ones).
+    pub(crate) fn snapshot(&self, store: &StoreHealth) -> ServerSnapshot {
         ServerSnapshot {
             submitted: self.submitted.load(Ordering::SeqCst),
             completed: self.completed.load(Ordering::SeqCst),
@@ -44,6 +49,11 @@ impl Counters {
             coalesced: self.coalesced.load(Ordering::SeqCst),
             memory_hits: self.memory_hits.load(Ordering::SeqCst),
             store_hits: self.store_hits.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            store_retries: store.retries,
+            store_quarantined: store.quarantined,
+            store_breaker_trips: store.breaker_trips,
+            store_breaker: store.breaker,
             total_queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::SeqCst)),
             total_service_time: Duration::from_nanos(self.service_nanos.load(Ordering::SeqCst)),
         }
@@ -74,6 +84,19 @@ pub struct ServerSnapshot {
     pub memory_hits: u64,
     /// Modules served from the shared persistent store.
     pub store_hits: u64,
+    /// Module resolutions whose store read failed and gracefully
+    /// degraded to re-extraction (the requests still completed).
+    pub degraded: u64,
+    /// Transport retries the shared backend stack has performed
+    /// (absolute, store-lifetime).
+    pub store_retries: u64,
+    /// Corrupt artifacts the shared backend stack has quarantined.
+    pub store_quarantined: u64,
+    /// Cold-tier circuit-breaker trips on the shared backend stack.
+    pub store_breaker_trips: u64,
+    /// The shared backend stack's circuit-breaker state at snapshot
+    /// time; [`Closed`](BreakerState::Closed) for stacks without one.
+    pub store_breaker: BreakerState,
     /// Queue wait summed over served (non-rejected) requests.
     pub total_queue_wait: Duration,
     /// Service time summed over served requests.
@@ -120,7 +143,25 @@ impl fmt::Display for ServerSnapshot {
             f,
             " | extracted {}, coalesced {}, memory {}, store {}",
             self.extractions, self.coalesced, self.memory_hits, self.store_hits
-        )
+        )?;
+        if self.degraded > 0 {
+            write!(f, ", degraded {}", self.degraded)?;
+        }
+        if self.store_retries > 0 || self.store_quarantined > 0 {
+            write!(
+                f,
+                " | retries {}, quarantined {}",
+                self.store_retries, self.store_quarantined
+            )?;
+        }
+        if self.store_breaker != BreakerState::Closed || self.store_breaker_trips > 0 {
+            write!(
+                f,
+                " | breaker {} ({} trips)",
+                self.store_breaker, self.store_breaker_trips
+            )?;
+        }
+        Ok(())
     }
 }
 

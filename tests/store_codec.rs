@@ -13,8 +13,9 @@
 use hier_ssta::core::{ExtractOptions, ModuleContext, SstaConfig, TimingModel};
 use hier_ssta::engine::store::envelope;
 use hier_ssta::engine::{
-    Codec, DesignSpec, Engine, EngineError, EngineOptions, FsBackend, MemoryBackend, ModelStore,
-    StorageBackend,
+    Codec, DesignSpec, Engine, EngineError, EngineOptions, FaultInjectingBackend, FaultPlan,
+    FsBackend, MemoryBackend, ModelStore, RemoteBackend, StorageBackend, TieredBackend,
+    TieredOptions,
 };
 use hier_ssta::math::digest::sha256;
 use hier_ssta::netlist::{generators, DieRect};
@@ -45,8 +46,13 @@ fn hex_key(fill: u8) -> String {
 // Backend conformance: every backend obeys the same contract.
 // ---------------------------------------------------------------------
 
-fn backend_conformance<B: StorageBackend>(backend: &B) {
+/// The suite, parameterized over how payloads become stored bytes.
+/// Plain backends move raw bytes (`encode` is the identity); a
+/// verifying [`RemoteBackend`] re-checks the SSTM envelope on every
+/// get, so its conformance run stores real envelopes.
+fn backend_conformance_encoded<B: StorageBackend>(backend: &B, encode: &dyn Fn(&[u8]) -> Vec<u8>) {
     let (ka, kb) = (hex_key(b'a'), hex_key(b'b'));
+    let (alpha, alpha_v2, beta) = (encode(b"alpha"), encode(b"alpha v2"), encode(b"beta"));
 
     // Empty store.
     assert!(backend.is_empty().expect("is_empty"));
@@ -57,12 +63,9 @@ fn backend_conformance<B: StorageBackend>(backend: &B) {
     assert!(!backend.remove(&ka).expect("remove absent"));
 
     // Put / get round trip.
-    backend.put(&kb, b"beta").expect("put");
-    backend.put(&ka, b"alpha").expect("put");
-    assert_eq!(
-        backend.get(&ka).expect("get").as_deref(),
-        Some(&b"alpha"[..])
-    );
+    backend.put(&kb, &beta).expect("put");
+    backend.put(&ka, &alpha).expect("put");
+    assert_eq!(backend.get(&ka).expect("get"), Some(alpha));
     assert!(backend.contains(&ka).expect("contains"));
     assert!(!backend.is_empty().expect("is_empty"));
     assert_eq!(backend.len().expect("len"), 2);
@@ -73,11 +76,8 @@ fn backend_conformance<B: StorageBackend>(backend: &B) {
     );
 
     // Overwrite replaces.
-    backend.put(&ka, b"alpha v2").expect("overwrite");
-    assert_eq!(
-        backend.get(&ka).expect("get").as_deref(),
-        Some(&b"alpha v2"[..])
-    );
+    backend.put(&ka, &alpha_v2).expect("overwrite");
+    assert_eq!(backend.get(&ka).expect("get"), Some(alpha_v2));
     assert_eq!(backend.len().expect("len"), 2);
 
     // Remove reports prior existence.
@@ -92,6 +92,10 @@ fn backend_conformance<B: StorageBackend>(backend: &B) {
         backend.list_keys().expect("list after clear"),
         Vec::<String>::new()
     );
+}
+
+fn backend_conformance<B: StorageBackend>(backend: &B) {
+    backend_conformance_encoded(backend, &|payload| payload.to_vec());
 }
 
 #[test]
@@ -198,6 +202,62 @@ fn boxed_and_shared_backends_pass_the_conformance_suite() {
     let boxed: Box<dyn StorageBackend> = Box::new(MemoryBackend::new());
     backend_conformance(&boxed);
     backend_conformance(&Arc::new(MemoryBackend::new()));
+}
+
+#[test]
+fn tiered_backend_passes_the_conformance_suite() {
+    backend_conformance(&TieredBackend::with_defaults(MemoryBackend::new()));
+    // A hot tier too small for any entry degenerates to the cold tier
+    // alone — same contract.
+    let cold_only = TieredBackend::new(
+        MemoryBackend::new(),
+        TieredOptions {
+            hot_capacity_bytes: 0,
+            ..TieredOptions::default()
+        },
+    );
+    backend_conformance(&cold_only);
+}
+
+#[test]
+fn remote_backend_passes_the_conformance_suite() {
+    // The verifying configuration (the default) re-checks the SSTM
+    // envelope on every get, so its run stores real envelopes.
+    let verifying = RemoteBackend::perfect(MemoryBackend::new());
+    backend_conformance_encoded(&verifying, &|payload| {
+        envelope::encode_envelope(Codec::Binary, payload)
+    });
+    assert!(verifying.quarantined_keys().is_empty());
+    assert_eq!(verifying.health().retries, 0);
+
+    // With verification off it is a plain byte store.
+    let raw = RemoteBackend::perfect(MemoryBackend::new()).without_verification();
+    backend_conformance(&raw);
+}
+
+#[test]
+fn fault_injecting_backend_with_an_empty_plan_passes_the_conformance_suite() {
+    let backend = FaultInjectingBackend::new(MemoryBackend::new(), FaultPlan::none());
+    backend_conformance(&backend);
+    assert_eq!(backend.counters().total(), 0, "empty plan injects nothing");
+}
+
+#[test]
+fn the_full_backend_stack_passes_the_conformance_suite() {
+    // The production fault-tolerant stack: hot tier over a retrying
+    // remote over a (quiet) fault injector over memory.
+    let transport = FaultInjectingBackend::new(MemoryBackend::new(), FaultPlan::none());
+    let stack = TieredBackend::with_defaults(RemoteBackend::perfect(transport));
+    backend_conformance_encoded(&stack, &|payload| {
+        envelope::encode_envelope(Codec::Binary, payload)
+    });
+    // Cache traffic (hot hits, promotions) is expected; faults are not.
+    let health = stack.health();
+    assert_eq!(health.retries, 0);
+    assert_eq!(health.quarantined, 0);
+    assert_eq!(health.faults_injected, 0);
+    assert_eq!(health.cold_failures, 0);
+    assert_eq!(health.breaker_trips, 0);
 }
 
 // ---------------------------------------------------------------------
