@@ -17,6 +17,10 @@
 //!   and maximum level width. Serial and parallel results are asserted
 //!   bit-identical; in full mode the pull engine must beat push on the
 //!   16- and 64-instance rows.
+//! * **sequential** (schema 5) — registered-pipeline scaling rows:
+//!   characterize + registered extraction wall-clock per chain, then
+//!   stage-by-stage `analyze_sequential` serial vs threaded (asserted
+//!   bit-identical) with per-stage required-period/slack means.
 //!
 //! `--tiny` (or `SSTA_BENCH_PROFILE=tiny`) shrinks every size so CI can
 //! exercise the whole path in seconds; speed assertions are relaxed to
@@ -25,10 +29,13 @@
 //! Run with `cargo run -p ssta-bench --release --bin bench_json`.
 
 use serde::Serialize;
-use ssta_bench::{characterize, module_array_from_model};
+use ssta_bench::{
+    characterize, module_array_from_model, registered_chain_design, registered_pipeline_models,
+};
 use ssta_core::{
-    analyze_with, assemble_design_graph, AnalyzeOptions, CorrelationMode, CorrelationModel,
-    DesignTiming, ExtractOptions, PhaseTimings, SstaConfig,
+    analyze_sequential, analyze_with, assemble_design_graph, AnalyzeOptions, CorrelationMode,
+    CorrelationModel, DesignTiming, ExtractOptions, PhaseTimings, SequentialAnalyzeOptions,
+    SstaConfig,
 };
 use ssta_math::eigen::{symmetric_eigen, symmetric_eigen_jacobi};
 use ssta_math::tridiag::symmetric_eigen_ql;
@@ -48,6 +55,10 @@ struct Report {
     effective_threads: usize,
     eigen: EigenDuel,
     assembly: Vec<ScalingPoint>,
+    /// Schema 5: the registered-pipeline scaling rows — sequential
+    /// extraction plus stage-by-stage propagation through registered
+    /// boundaries.
+    sequential: Vec<SequentialPoint>,
 }
 
 #[derive(Serialize)]
@@ -96,6 +107,34 @@ struct PropagateDuel {
     pull_serial_seconds: f64,
     pull_threaded_seconds: f64,
     pull_vs_push_speedup: f64,
+}
+
+/// One registered-pipeline scaling row: a chain of register-bounded
+/// stage models analyzed with `analyze_sequential`. Extraction time
+/// covers characterize + registered extraction for every stage; the
+/// analyze times are min-of-reps over the whole stage-by-stage
+/// propagation (serial vs default threads, asserted bit-identical).
+#[derive(Serialize)]
+struct SequentialPoint {
+    cores: Vec<String>,
+    n_stages: usize,
+    extract_seconds: f64,
+    analyze_serial_seconds: f64,
+    analyze_parallel_seconds: f64,
+    /// Mean / sigma of the design's statistical minimum clock period (ps).
+    min_period_ps_mean: f64,
+    min_period_ps_sigma: f64,
+    stages: Vec<StagePoint>,
+}
+
+/// Per-stage slice of the sequential row.
+#[derive(Serialize)]
+struct StagePoint {
+    instance: String,
+    required_period_ps_mean: f64,
+    setup_slack_ps_mean: f64,
+    /// `None` (JSON `null`) for stages whose model ships no hold arcs.
+    hold_slack_ps_mean: Option<f64>,
 }
 
 fn main() {
@@ -169,6 +208,43 @@ fn main() {
         points.push(point);
     }
 
+    // Registered-pipeline rows: short chain and (full profile) an
+    // ISCAS-85-class chain. Clock periods are comfortable for each
+    // chain's logic depth so slacks stay meaningfully positive.
+    let sequential_rows: &[(&[&str], f64)] = if tiny {
+        &[(&["rca4", "rca4"], 1500.0)]
+    } else {
+        &[
+            (&["rca4", "rca4", "rca4"], 1500.0),
+            (&["c432", "c880", "c432"], 3000.0),
+        ]
+    };
+    let mut sequential = Vec::new();
+    for &(cores, period) in sequential_rows {
+        let point = sequential_point(cores, period, reps);
+        println!(
+            "pipeline {:?}: extract {:.1} ms, analyze serial {:.1} ms / parallel {:.1} ms, min period {:.1} ps (sigma {:.1})",
+            cores,
+            1e3 * point.extract_seconds,
+            1e3 * point.analyze_serial_seconds,
+            1e3 * point.analyze_parallel_seconds,
+            point.min_period_ps_mean,
+            point.min_period_ps_sigma,
+        );
+        for stage in &point.stages {
+            println!(
+                "         {}: required {:.1} ps, setup slack {:.1} ps, hold slack {}",
+                stage.instance,
+                stage.required_period_ps_mean,
+                stage.setup_slack_ps_mean,
+                stage
+                    .hold_slack_ps_mean
+                    .map_or("n/a".into(), |v| format!("{v:.1} ps")),
+            );
+        }
+        sequential.push(point);
+    }
+
     // The tiny profile defaults to its own path so a local smoke run
     // never clobbers the committed full-profile baseline.
     let default_out = if tiny {
@@ -178,11 +254,12 @@ fn main() {
     };
     let out = std::env::var("SSTA_BENCH_OUT").unwrap_or_else(|_| default_out.into());
     let report = Report {
-        schema: 4,
+        schema: 5,
         profile: if tiny { "tiny" } else { "full" }.into(),
         effective_threads: ssta_core::parallel::effective_threads(0),
         eigen: duel,
         assembly: points,
+        sequential,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, json).expect("write benchmark JSON");
@@ -419,6 +496,75 @@ fn propagate_duel(
         pull_serial_seconds,
         pull_threaded_seconds,
         pull_vs_push_speedup: push_serial_seconds / pull_serial_seconds,
+    }
+}
+
+/// Measures one registered-pipeline chain: stage extraction once, then
+/// min-of-reps stage-by-stage sequential analysis, serial and with the
+/// default thread count, asserted bit-identical before either is
+/// reported.
+fn sequential_point(cores: &[&str], clock_period_ps: f64, reps: usize) -> SequentialPoint {
+    let config = SstaConfig::paper();
+    let (models, extract_seconds) = registered_pipeline_models(cores, "DFF", &config);
+    let design = registered_chain_design(&format!("pipe-{}", cores.join("-")), &models, config);
+
+    let serial_opts = SequentialAnalyzeOptions {
+        threads: 1,
+        ..SequentialAnalyzeOptions::with_period(clock_period_ps)
+    };
+    let parallel_opts = SequentialAnalyzeOptions::with_period(clock_period_ps);
+
+    let mut analyze_serial_seconds = f64::INFINITY;
+    let mut serial = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = analyze_sequential(&design, &serial_opts).expect("serial sequential");
+        analyze_serial_seconds = analyze_serial_seconds.min(t.elapsed().as_secs_f64());
+        serial = Some(r);
+    }
+    let serial = serial.expect("at least one rep");
+
+    let mut analyze_parallel_seconds = f64::INFINITY;
+    let mut parallel = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = analyze_sequential(&design, &parallel_opts).expect("parallel sequential");
+        analyze_parallel_seconds = analyze_parallel_seconds.min(t.elapsed().as_secs_f64());
+        parallel = Some(r);
+    }
+    let parallel = parallel.expect("at least one rep");
+
+    assert_eq!(
+        parallel.min_period, serial.min_period,
+        "threaded sequential analysis diverged from serial"
+    );
+    for (a, b) in serial.stages.iter().zip(&parallel.stages) {
+        assert_eq!(
+            a.setup_slack, b.setup_slack,
+            "stage {} diverged",
+            a.instance
+        );
+        assert_eq!(a.hold_slack, b.hold_slack, "stage {} diverged", a.instance);
+    }
+
+    SequentialPoint {
+        cores: cores.iter().map(|c| c.to_string()).collect(),
+        n_stages: models.len(),
+        extract_seconds,
+        analyze_serial_seconds,
+        analyze_parallel_seconds,
+        min_period_ps_mean: serial.min_period.mean(),
+        min_period_ps_sigma: serial.min_period.std_dev(),
+        stages: serial
+            .stages
+            .iter()
+            .map(|s| StagePoint {
+                instance: s.instance.clone(),
+                required_period_ps_mean: s.required_period.mean(),
+                setup_slack_ps_mean: s.setup_slack.mean(),
+                hold_slack_ps_mean: s.hold_slack.as_ref().map(|h| h.mean()),
+            })
+            .collect(),
     }
 }
 

@@ -19,10 +19,11 @@
 #![forbid(unsafe_code)]
 
 use ssta_core::{
-    CorrelationMode, Design, DesignBuilder, ExtractOptions, ModuleContext, SstaConfig, TimingModel,
+    extract_registered, CorrelationMode, Design, DesignBuilder, ExtractOptions, ModuleContext,
+    SstaConfig, TimingModel,
 };
 use ssta_mc::McOptions;
-use ssta_netlist::generators::{array_multiplier, iscas85, ISCAS85_SPECS};
+use ssta_netlist::generators::{array_multiplier, iscas85, registered_pipeline, ISCAS85_SPECS};
 use ssta_netlist::DieRect;
 use std::sync::Arc;
 use std::time::Instant;
@@ -257,6 +258,78 @@ pub fn module_array_spec(name: &str, n: usize) -> ssta_engine::DesignSpec {
         b.expose_output(*ids.last().expect("nonempty"), k);
     }
     b.finish().expect("array spec")
+}
+
+/// Characterizes and extracts one registered model per pipeline stage
+/// (core names as accepted by `generators::registered_pipeline`: ISCAS-85
+/// names or `rca<w>`/`parity<n>`), returning the models plus the total
+/// characterize-and-extract wall-clock — the cost a sequential scaling
+/// row reports as `extract_seconds`.
+pub fn registered_pipeline_models(
+    cores: &[&str],
+    register: &str,
+    config: &SstaConfig,
+) -> (Vec<Arc<TimingModel>>, f64) {
+    let stages = registered_pipeline(cores, register).expect("pipeline generator");
+    let started = Instant::now();
+    let models = stages
+        .iter()
+        .map(|stage| {
+            let ctx =
+                ModuleContext::characterize(stage.core().clone(), config).expect("characterize");
+            Arc::new(
+                extract_registered(&ctx, stage.register(), &ExtractOptions::default())
+                    .expect("registered extraction"),
+            )
+        })
+        .collect();
+    (models, started.elapsed().as_secs_f64())
+}
+
+/// Chains registered stage models into one design: stage geometries are
+/// abutted left to right, stage `k` outputs feed stage `k+1` register D
+/// pins round-robin, the first stage exposes the design PIs and the last
+/// the POs — the sequential analogue of [`module_array_from_model`].
+pub fn registered_chain_design(
+    name: &str,
+    models: &[Arc<TimingModel>],
+    config: SstaConfig,
+) -> Design {
+    assert!(!models.is_empty(), "need at least one stage");
+    let widths: Vec<f64> = models.iter().map(|m| m.geometry().extent_um().0).collect();
+    let height = models
+        .iter()
+        .map(|m| m.geometry().extent_um().1)
+        .fold(0.0f64, f64::max);
+    let die = DieRect {
+        width: widths.iter().sum(),
+        height,
+    };
+    let mut b = DesignBuilder::new(name, die, config);
+    let mut ids = Vec::new();
+    let mut x = 0.0;
+    for (k, model) in models.iter().enumerate() {
+        let id = b
+            .add_instance(format!("s{k}"), Arc::clone(model), None, (x, 0.0))
+            .expect("stage fits abutted die");
+        x += widths[k];
+        ids.push(id);
+    }
+    for k in 0..models.len() - 1 {
+        let n_out = models[k].n_outputs();
+        for p in 0..models[k + 1].n_inputs() {
+            b.connect(ids[k], p % n_out, ids[k + 1], p, 0.0)
+                .expect("stage wire");
+        }
+    }
+    for p in 0..models[0].n_inputs() {
+        b.expose_input(vec![(ids[0], p)]).expect("pi");
+    }
+    for j in 0..models.last().expect("nonempty").n_outputs() {
+        b.expose_output(*ids.last().expect("nonempty"), j)
+            .expect("po");
+    }
+    b.finish().expect("pipeline design")
 }
 
 /// Builds the Fig. 7 experimental design: four `width×width` multipliers

@@ -21,18 +21,23 @@
 //! The stream opens with a one-byte **layout version** (currently
 //! [`MODEL_CODEC_VERSION`]) so the payload format can evolve
 //! independently of the store's envelope version; readers reject
-//! unknown layouts up front.
+//! unknown layouts up front. Writers emit layout 2; the reader also
+//! accepts layout-1 streams (they simply carry no sequential block).
 //!
 //! Field order mirrors the logical structure: name, configuration,
 //! grid geometry, variable layout, PCA bases, timing graph (raw slots,
 //! tombstones included — see [`ssta_timing::RawGraphParts`]), and
-//! extraction stats. The graph's input list is *not* stored: it is
+//! extraction stats. Layout 2 appends an optional sequential-interface
+//! block (clock pin + launch/setup/hold constraint arcs), validated on
+//! decode against the already-decoded graph and layout so a hostile
+//! payload cannot smuggle in arcs referencing unknown pins or foreign
+//! variable spaces. The graph's input list is *not* stored: it is
 //! fully determined by the `Input(i)` vertex kinds and re-derived on
 //! decode, which both saves bytes and makes that invariant
 //! unforgeable.
 
 use crate::canonical::CanonicalForm;
-use crate::extract::{ExtractionStats, TimingModel};
+use crate::extract::{ConstraintArc, ExtractionStats, SequentialModel, TimingModel};
 use crate::params::{ParameterSpec, SstaConfig, VariableLayout};
 use crate::spatial::{CorrelationModel, GridGeometry};
 use crate::CoreError;
@@ -41,8 +46,12 @@ use ssta_math::{Matrix, PcaBasis, PcaOptions};
 use ssta_netlist::ProcessParam;
 use ssta_timing::{RawGraphParts, TimingGraph, VertexId, VertexKind};
 
-/// Version byte opening every binary model payload.
-pub const MODEL_CODEC_VERSION: u8 = 1;
+/// Version byte opening every binary model payload written by this
+/// build. Layout 2 = layout 1 plus the optional sequential block.
+pub const MODEL_CODEC_VERSION: u8 = 2;
+
+/// Oldest layout version the reader still accepts.
+pub const MIN_MODEL_CODEC_VERSION: u8 = 1;
 
 impl From<CodecError> for CoreError {
     fn from(e: CodecError) -> Self {
@@ -71,6 +80,7 @@ pub fn encode_model(model: &TimingModel) -> Vec<u8> {
     }
     encode_graph(&mut w, model.graph());
     encode_stats(&mut w, model.stats());
+    encode_sequential(&mut w, model.sequential());
     w.into_bytes()
 }
 
@@ -84,10 +94,11 @@ pub fn encode_model(model: &TimingModel) -> Vec<u8> {
 pub fn decode_model(bytes: &[u8]) -> Result<TimingModel, CoreError> {
     let mut r = ByteReader::new(bytes);
     let version = r.get_u8()?;
-    if version != MODEL_CODEC_VERSION {
+    if !(MIN_MODEL_CODEC_VERSION..=MODEL_CODEC_VERSION).contains(&version) {
         return Err(CoreError::Codec {
             reason: format!(
-                "unknown binary model layout {version}, this build reads {MODEL_CODEC_VERSION}"
+                "unknown binary model layout {version}, this build reads \
+                 {MIN_MODEL_CODEC_VERSION}..={MODEL_CODEC_VERSION}"
             ),
         });
     }
@@ -102,9 +113,28 @@ pub fn decode_model(bytes: &[u8]) -> Result<TimingModel, CoreError> {
     }
     let graph = decode_graph(&mut r)?;
     let stats = decode_stats(&mut r)?;
+    let sequential = if version >= 2 {
+        decode_sequential(&mut r)?
+    } else {
+        None
+    };
     r.finish()?;
+    if let Some(seq) = &sequential {
+        // Stored sequential blocks face the same hostile-input bar as the
+        // graph itself: every arc must address a real pin in the model's
+        // own variable space, and a violation is a *named* codec error.
+        seq.validate(
+            graph.inputs().len(),
+            graph.outputs().len(),
+            config.parameters.len(),
+            layout.n_locals(),
+        )
+        .map_err(|reason| CoreError::Codec {
+            reason: format!("stored sequential interface is invalid: {reason}"),
+        })?;
+    }
     Ok(TimingModel::from_codec_parts(
-        name, graph, geometry, layout, pca, config, stats,
+        name, graph, geometry, layout, pca, config, stats, sequential,
     ))
 }
 
@@ -377,6 +407,52 @@ fn decode_graph(r: &mut ByteReader<'_>) -> Result<TimingGraph<CanonicalForm>, Co
     })
 }
 
+fn encode_sequential(w: &mut ByteWriter, seq: Option<&SequentialModel>) {
+    match seq {
+        None => w.put_bool(false),
+        Some(seq) => {
+            w.put_bool(true);
+            w.put_str(&seq.clock_pin);
+            for arcs in [&seq.launch, &seq.setup, &seq.hold] {
+                w.put_usize(arcs.len());
+                for arc in arcs {
+                    w.put_varint(u64::from(arc.port));
+                    encode_form(w, &arc.form);
+                }
+            }
+        }
+    }
+}
+
+fn decode_sequential(r: &mut ByteReader<'_>) -> Result<Option<SequentialModel>, CoreError> {
+    if !r.get_bool()? {
+        return Ok(None);
+    }
+    let clock_pin = r.get_str()?;
+    let mut families = [Vec::new(), Vec::new(), Vec::new()];
+    for arcs in &mut families {
+        // ≥ 19 bytes per arc: 1-byte port varint + an 18-byte minimal
+        // canonical form — bounds a corrupted count before allocation.
+        let n = r.get_len(r.remaining() / 19)?;
+        arcs.reserve(n);
+        for _ in 0..n {
+            let port = r.get_varint()?;
+            let port = u32::try_from(port).map_err(|_| CoreError::Codec {
+                reason: format!("constraint arc port {port} exceeds u32"),
+            })?;
+            let form = decode_form(r)?;
+            arcs.push(ConstraintArc { port, form });
+        }
+    }
+    let [launch, setup, hold] = families;
+    Ok(Some(SequentialModel {
+        clock_pin,
+        launch,
+        setup,
+        hold,
+    }))
+}
+
 fn encode_stats(w: &mut ByteWriter, s: &ExtractionStats) {
     w.put_usize(s.original_edges);
     w.put_usize(s.original_vertices);
@@ -530,6 +606,110 @@ mod tests {
         w.put_usize(2); // two parameters...
         w.put_varint(u64::MAX); // ...with an overflowing count
         w.put_varint(1);
+        assert!(matches!(
+            decode_model(&w.into_bytes()),
+            Err(CoreError::Codec { reason }) if reason.contains("exceeds limit")
+        ));
+    }
+
+    fn registered_model() -> TimingModel {
+        let stages = generators::registered_pipeline(&["rca4"], "DFF").unwrap();
+        let ctx =
+            ModuleContext::characterize(stages[0].core().clone(), &SstaConfig::paper()).unwrap();
+        crate::extract::extract_registered(
+            &ctx,
+            stages[0].register(),
+            &crate::ExtractOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_block_round_trips_bit_exactly() {
+        let m = registered_model();
+        let bytes = encode_model(&m);
+        let back = decode_model(&bytes).unwrap();
+        assert_eq!(encode_model(&back), bytes);
+        assert_eq!(back.sequential(), m.sequential());
+    }
+
+    #[test]
+    fn decoder_accepts_layout_one_without_sequential_block() {
+        // A layout-1 stream is exactly a layout-2 stream for a
+        // combinational model minus the trailing presence flag.
+        let m = model(3);
+        let mut bytes = encode_model(&m);
+        assert_eq!(
+            bytes.pop(),
+            Some(0),
+            "combinational v2 ends with absent flag"
+        );
+        bytes[0] = 1;
+        let back = decode_model(&bytes).unwrap();
+        assert!(back.sequential().is_none());
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.edge_count(), m.edge_count());
+    }
+
+    #[test]
+    fn decoder_names_unknown_constraint_pins() {
+        // Corrupt a stored sequential block to reference a pin past the
+        // interface: the decoder must reject it with the pin number, not
+        // admit a model whose arcs silently misbehave downstream.
+        let m = registered_model();
+        let seq = m.sequential().unwrap();
+        let mut hostile = seq.clone();
+        hostile.setup[0].port = 40_000;
+        let mut w = ByteWriter::new();
+        w.put_u8(MODEL_CODEC_VERSION);
+        w.put_str(m.name());
+        encode_config(&mut w, m.config());
+        encode_geometry(&mut w, m.geometry());
+        encode_layout(&mut w, m.layout());
+        w.put_usize(m.pca().len());
+        for basis in m.pca() {
+            encode_pca(&mut w, basis);
+        }
+        encode_graph(&mut w, m.graph());
+        encode_stats(&mut w, m.stats());
+        encode_sequential(&mut w, Some(&hostile));
+        assert!(matches!(
+            decode_model(&w.into_bytes()),
+            Err(CoreError::Codec { reason })
+                if reason.contains("unknown pin 40000") && reason.contains("sequential")
+        ));
+    }
+
+    #[test]
+    fn decoder_bounds_hostile_arc_count() {
+        // A corrupted arc count near u64::MAX must fail as a length
+        // error before any allocation, like every other stored length.
+        let m = registered_model();
+        let bytes = encode_model(&m);
+        let seq_flag = {
+            // The sequential block starts right after the stats; find it
+            // by re-encoding everything before it.
+            let mut w = ByteWriter::new();
+            w.put_u8(MODEL_CODEC_VERSION);
+            w.put_str(m.name());
+            encode_config(&mut w, m.config());
+            encode_geometry(&mut w, m.geometry());
+            encode_layout(&mut w, m.layout());
+            w.put_usize(m.pca().len());
+            for basis in m.pca() {
+                encode_pca(&mut w, basis);
+            }
+            encode_graph(&mut w, m.graph());
+            encode_stats(&mut w, m.stats());
+            w.into_bytes().len()
+        };
+        let mut w = ByteWriter::new();
+        for &b in &bytes[..seq_flag] {
+            w.put_u8(b);
+        }
+        w.put_bool(true);
+        w.put_str("clk");
+        w.put_varint(u64::MAX); // hostile launch-arc count
         assert!(matches!(
             decode_model(&w.into_bytes()),
             Err(CoreError::Codec { reason }) if reason.contains("exceeds limit")

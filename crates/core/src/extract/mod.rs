@@ -14,9 +14,11 @@
 
 mod merge;
 mod model;
+mod sequential;
 
 pub use merge::{reduce, MergeStats};
 pub use model::{ExtractionStats, TimingModel};
+pub use sequential::{extract_registered, ConstraintArc, SequentialModel};
 
 use crate::canonical::CanonicalForm;
 use crate::criticality::{edge_criticalities, CriticalityOptions};

@@ -9,6 +9,7 @@
 //! example exercises end to end.
 
 use crate::canonical::CanonicalForm;
+use crate::extract::SequentialModel;
 use crate::module::ModuleContext;
 use crate::params::{SstaConfig, VariableLayout};
 use crate::spatial::GridGeometry;
@@ -57,7 +58,9 @@ impl ExtractionStats {
     }
 }
 
-/// A pre-characterized statistical timing model of a combinational module.
+/// A pre-characterized statistical timing model of a module —
+/// combinational, or registered when a [`SequentialModel`] interface is
+/// attached.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TimingModel {
     name: String,
@@ -67,6 +70,11 @@ pub struct TimingModel {
     pca: Vec<PcaBasis>,
     config: SstaConfig,
     stats: ExtractionStats,
+    /// Sequential interface (setup/hold/launch constraint arcs); `None`
+    /// for purely combinational models. `serde(default)` keeps pre-
+    /// sequential JSON artifacts loadable.
+    #[serde(default)]
+    sequential: Option<SequentialModel>,
 }
 
 impl TimingModel {
@@ -83,13 +91,21 @@ impl TimingModel {
             pca: ctx.pca().iter().map(|p| (**p).clone()).collect(),
             config: ctx.config().clone(),
             stats,
+            sequential: None,
         }
+    }
+
+    /// Attaches a sequential interface (registered-module extraction).
+    pub(crate) fn with_sequential(mut self, sequential: SequentialModel) -> Self {
+        self.sequential = Some(sequential);
+        self
     }
 
     /// Reassembles a model from its constituent parts (binary codec
     /// support). No cross-validation happens here: the codec layer is
     /// responsible for structural checks, and the store's integrity
     /// stamp has already vouched for the bytes.
+    #[allow(clippy::too_many_arguments)] // one argument per serialized section
     pub(crate) fn from_codec_parts(
         name: String,
         graph: TimingGraph<CanonicalForm>,
@@ -98,6 +114,7 @@ impl TimingModel {
         pca: Vec<PcaBasis>,
         config: SstaConfig,
         stats: ExtractionStats,
+        sequential: Option<SequentialModel>,
     ) -> Self {
         TimingModel {
             name,
@@ -107,7 +124,52 @@ impl TimingModel {
             pca,
             config,
             stats,
+            sequential,
         }
+    }
+
+    /// Assembles a model from externally produced parts — the seam the
+    /// SDF interchange layer uses to turn imported cells into analyzable
+    /// models. Unlike the codec path, the parts here come from arbitrary
+    /// outside data, so the sequential interface is validated against
+    /// the graph's port counts and variable space before the model is
+    /// admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incompatible`] naming the first constraint
+    /// arc that references an unknown pin or lives in the wrong variable
+    /// space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        name: String,
+        graph: TimingGraph<CanonicalForm>,
+        geometry: GridGeometry,
+        layout: VariableLayout,
+        pca: Vec<PcaBasis>,
+        config: SstaConfig,
+        stats: ExtractionStats,
+        sequential: Option<SequentialModel>,
+    ) -> Result<Self, CoreError> {
+        if let Some(seq) = &sequential {
+            seq.validate(
+                graph.inputs().len(),
+                graph.outputs().len(),
+                config.parameters.len(),
+                layout.n_locals(),
+            )
+            .map_err(|reason| CoreError::Incompatible { reason })?;
+        }
+        Ok(TimingModel {
+            name,
+            graph,
+            geometry,
+            layout,
+            pca,
+            config,
+            stats,
+            sequential,
+        })
     }
 
     /// Module name.
@@ -143,6 +205,16 @@ impl TimingModel {
     /// Extraction accounting.
     pub fn stats(&self) -> &ExtractionStats {
         &self.stats
+    }
+
+    /// The sequential interface, if this is a registered module's model.
+    pub fn sequential(&self) -> Option<&SequentialModel> {
+        self.sequential.as_ref()
+    }
+
+    /// `true` when the model carries a sequential interface.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential.is_some()
     }
 
     /// The module's grid partition (module-local coordinates).

@@ -29,7 +29,7 @@
 use crate::extract::ExtractOptions;
 use crate::params::SstaConfig;
 use ssta_math::digest::{sha256, Sha256};
-use ssta_netlist::Netlist;
+use ssta_netlist::{Netlist, SeqCellType};
 
 /// A content fingerprint of one module's characterization inputs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -130,13 +130,14 @@ pub fn module_fingerprint_from_digest(
     options: &ExtractOptions,
 ) -> ModuleFingerprint {
     let mut payload = String::new();
-    // v4: extraction's hot propagations moved to the levelized pull
-    // engine, whose fixed in-edge reduction order re-associates Clark's
-    // order-sensitive `maximum` — extracted-model numerics shift within
-    // working precision, so old store artifacts must re-key (miss once
-    // and repopulate) to keep warm and cold runs bit-identical.
-    // (v3 re-keyed for the Jacobi → Householder/QL eigensolver switch.)
-    payload.push_str("hier-ssta module fingerprint v4\n");
+    // v5: the SSTM payload moved to binary layout 2 (optional sequential
+    // interface block after the stats). New builds still *read* layout 1,
+    // but a store shared between build generations would hand layout-2
+    // artifacts to layout-1 readers; re-keying keeps each generation's
+    // cache self-consistent at the cost of one repopulating miss.
+    // (v4 re-keyed for the levelized pull engine's reduction-order
+    // change; v3 for the Jacobi → Householder/QL eigensolver switch.)
+    payload.push_str("hier-ssta module fingerprint v5\n");
     payload.push_str(&structure.to_hex());
     payload.push('\n');
     payload.push_str(&config_extract_payload(config, options));
@@ -172,6 +173,31 @@ pub fn module_fingerprint(
     options: &ExtractOptions,
 ) -> ModuleFingerprint {
     module_fingerprint_from_digest(&netlist_digest(netlist), config, options)
+}
+
+/// Fingerprints a *registered* module: the combinational core's inputs
+/// plus the register cell banked across its inputs.
+///
+/// Registered extraction
+/// ([`extract_registered`](crate::extract::extract_registered)) produces
+/// a different artifact than plain extraction of the same core — the
+/// sequential interface depends on the register cell's clock-to-q, setup,
+/// hold and sensitivities — so the cache key must separate the two and
+/// distinguish register cells. The register spec enters via its canonical
+/// serialized form, keeping the two-stage digest scheme (the netlist
+/// digest is still computed once per core).
+pub fn registered_fingerprint_from_digest(
+    structure: &NetlistDigest,
+    config: &SstaConfig,
+    options: &ExtractOptions,
+    register: &SeqCellType,
+) -> ModuleFingerprint {
+    let mut payload = String::new();
+    payload.push_str("hier-ssta registered module fingerprint v1\n");
+    payload.push_str(&module_fingerprint_from_digest(structure, config, options).to_hex());
+    payload.push('\n');
+    payload.push_str(&serde_json::to_string(register).expect("register spec serializes"));
+    ModuleFingerprint(sha256(payload.as_bytes()))
 }
 
 #[cfg(test)]
@@ -274,6 +300,29 @@ mod tests {
         let mut threaded = opts.clone();
         threaded.criticality.threads = 9;
         assert_eq!(base_sig, extraction_signature(&cfg, &threaded));
+    }
+
+    #[test]
+    fn registered_fingerprint_separates_core_and_register() {
+        let n = adder();
+        let cfg = SstaConfig::paper();
+        let opts = ExtractOptions::default();
+        let digest = netlist_digest(&n);
+        let plain = module_fingerprint_from_digest(&digest, &cfg, &opts);
+        let lib = ssta_netlist::seq_library_90nm();
+        let dff =
+            registered_fingerprint_from_digest(&digest, &cfg, &opts, lib.find("DFF").unwrap());
+        let dffx2 =
+            registered_fingerprint_from_digest(&digest, &cfg, &opts, lib.find("DFFX2").unwrap());
+        // Same core: the registered artifact must never collide with the
+        // combinational one, and register cells must not collide with
+        // each other.
+        assert_ne!(plain, dff);
+        assert_ne!(dff, dffx2);
+        assert_eq!(
+            dff,
+            registered_fingerprint_from_digest(&digest, &cfg, &opts, lib.find("DFF").unwrap())
+        );
     }
 
     #[test]

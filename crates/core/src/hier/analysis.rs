@@ -380,7 +380,9 @@ pub fn assemble_design_graph_with_basis(
 }
 
 /// A per-instance coefficient transform into the design variable space.
-enum LocalTransform {
+/// `pub(crate)` so the sequential analysis can rewrite constraint arcs
+/// with the exact transform its edge delays get.
+pub(crate) enum LocalTransform {
     /// Proposed mode: full replacement matrices.
     Replace(InstanceReplacement),
     /// Global-only mode: copy the module block at a private offset.
@@ -391,7 +393,7 @@ enum LocalTransform {
 }
 
 impl LocalTransform {
-    fn apply(
+    pub(crate) fn apply(
         &self,
         form: &CanonicalForm,
         module_layout: &VariableLayout,
@@ -412,7 +414,7 @@ impl LocalTransform {
     }
 }
 
-fn build_variable_space(
+pub(crate) fn build_variable_space(
     design: &Design,
     mode: CorrelationMode,
     threads: usize,

@@ -21,6 +21,7 @@ pub mod analysis;
 pub mod design;
 pub mod partition;
 pub mod replace;
+pub mod sequential;
 
 pub use analysis::{
     analyze, analyze_with, assemble_design_graph, assemble_design_graph_with_basis,
@@ -30,3 +31,4 @@ pub use analysis::{
 pub use design::{Connection, Design, DesignBuilder, Instance};
 pub use partition::DesignPartition;
 pub use replace::{DesignVariables, InstanceReplacement};
+pub use sequential::{analyze_sequential, SequentialAnalyzeOptions, SequentialTiming, StageTiming};

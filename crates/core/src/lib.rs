@@ -68,16 +68,20 @@ pub use cancel::{CancelToken, Cancelled};
 pub use canonical::CanonicalForm;
 pub use criticality::CriticalityOptions;
 pub use error::CoreError;
-pub use extract::{ExtractOptions, ExtractionStats, TimingModel};
+pub use extract::{
+    extract_registered, ConstraintArc, ExtractOptions, ExtractionStats, SequentialModel,
+    TimingModel,
+};
 pub use fingerprint::{
     extraction_signature, module_fingerprint, module_fingerprint_from_digest, netlist_digest,
-    ModuleFingerprint, NetlistDigest,
+    registered_fingerprint_from_digest, ModuleFingerprint, NetlistDigest,
 };
 pub use hier::{
     analyze, analyze_with, assemble_design_graph, assemble_design_graph_with_basis,
     propagate_assembled, AnalyzeOptions, AssembledDesign, CorrelationMode, Design, DesignBuilder,
     DesignTiming, PhaseTimings,
 };
+pub use hier::{analyze_sequential, SequentialAnalyzeOptions, SequentialTiming, StageTiming};
 pub use hier::{DesignVariables, InstanceReplacement};
 // `propagate_assembled` takes the schedule type by reference, so re-export
 // it — callers shouldn't need a direct ssta-timing dependency to name it.

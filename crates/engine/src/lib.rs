@@ -105,6 +105,6 @@ pub use scenario::{Scenario, ScenarioSet};
 pub use spec::{ConnectionSpec, DesignSpec, DesignSpecBuilder, InstanceSpec, ModuleDef, ModuleId};
 pub use store::{
     ArtifactInfo, BreakerState, Codec, FaultCounters, FaultInjectingBackend, FaultPlan, FsBackend,
-    MemoryBackend, ModelStore, NetworkModel, RemoteBackend, RetryOutcome, RetryPolicy,
+    MemoryBackend, ModelStore, NetworkModel, RemoteBackend, RetryOutcome, RetryPolicy, SdfImport,
     StorageBackend, StoreHealth, TieredBackend, TieredOptions,
 };

@@ -9,9 +9,12 @@
 //! artifact under a valid key.
 
 use super::backend::StorageBackend;
+use super::health::StoreHealth;
 use crate::error::EngineError;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
 
 /// File extension of stored artifacts.
 const EXT: &str = "stm";
@@ -23,6 +26,9 @@ static NEXT_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::ne
 #[derive(Debug)]
 pub struct FsBackend {
     root: PathBuf,
+    /// Artifacts deleted by [`gc`](Self::gc) over this backend's
+    /// lifetime, surfaced through [`StoreHealth::gc_evictions`].
+    gc_evictions: AtomicU64,
 }
 
 impl FsBackend {
@@ -34,12 +40,72 @@ impl FsBackend {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, EngineError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(FsBackend { root })
+        Ok(FsBackend {
+            root,
+            gc_evictions: AtomicU64::new(0),
+        })
     }
 
     /// The backend's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Evicts least-recently-modified artifacts until the artifacts'
+    /// total size is at most `max_bytes`; returns how many were
+    /// deleted. File mtime approximates recency — `put` rewrites the
+    /// file, so untouched artifacts age out first; ties break on key
+    /// order so concurrent collectors converge on the same victims. A
+    /// victim that vanishes mid-collection (another process removed or
+    /// collected it) counts as freed, not as an error.
+    ///
+    /// Runs on demand, not automatically: shared stores stay unbounded
+    /// by default, and an operator (or the serving layer) decides when
+    /// to reclaim space. Deletions are surfaced as
+    /// [`StoreHealth::gc_evictions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] if the tree cannot be enumerated or
+    /// a live victim cannot be removed.
+    pub fn gc(&self, max_bytes: u64) -> Result<usize, EngineError> {
+        let mut artifacts: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        for shard in self.shards()? {
+            for entry in fs::read_dir(shard)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.extension().is_none_or(|e| e != EXT) {
+                    continue;
+                }
+                let meta = entry.metadata()?;
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                total += meta.len();
+                artifacts.push((mtime, path, meta.len()));
+            }
+        }
+        artifacts.sort();
+        let mut evicted = 0;
+        let mut victims = artifacts.into_iter();
+        while total > max_bytes {
+            let Some((_, path, len)) = victims.next() else {
+                break;
+            };
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::NotFound | std::io::ErrorKind::NotADirectory
+                    ) => {}
+                Err(e) => return Err(e.into()),
+            }
+            total -= len;
+            evicted += 1;
+        }
+        self.gc_evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        Ok(evicted)
     }
 
     fn path_of(&self, key: &str) -> PathBuf {
@@ -171,5 +237,12 @@ impl StorageBackend for FsBackend {
             }
         }
         Ok(true)
+    }
+
+    fn health(&self) -> StoreHealth {
+        StoreHealth {
+            gc_evictions: self.gc_evictions.load(Ordering::Relaxed),
+            ..StoreHealth::default()
+        }
     }
 }

@@ -82,6 +82,9 @@ pub struct StoreHealth {
     pub promotions: u64,
     /// Hot-tier entries evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Artifacts deleted by [`FsBackend::gc`](super::FsBackend::gc) to
+    /// bring a filesystem store back under its byte budget.
+    pub gc_evictions: u64,
     /// Cold-tier calls that failed (and fed the circuit breaker).
     pub cold_failures: u64,
     /// Current circuit-breaker state; [`BreakerState::Closed`] for
@@ -105,6 +108,7 @@ impl StoreHealth {
             hot_hits: self.hot_hits.saturating_sub(baseline.hot_hits),
             promotions: self.promotions.saturating_sub(baseline.promotions),
             evictions: self.evictions.saturating_sub(baseline.evictions),
+            gc_evictions: self.gc_evictions.saturating_sub(baseline.gc_evictions),
             cold_failures: self.cold_failures.saturating_sub(baseline.cold_failures),
             breaker: self.breaker,
         }
@@ -123,6 +127,7 @@ impl StoreHealth {
             hot_hits: self.hot_hits + inner.hot_hits,
             promotions: self.promotions + inner.promotions,
             evictions: self.evictions + inner.evictions,
+            gc_evictions: self.gc_evictions + inner.gc_evictions,
             cold_failures: self.cold_failures + inner.cold_failures,
             breaker: if inner.breaker.severity() > self.breaker.severity() {
                 inner.breaker
@@ -160,6 +165,7 @@ impl fmt::Display for StoreHealth {
         item(f, "hot-hits", self.hot_hits)?;
         item(f, "promotions", self.promotions)?;
         item(f, "evictions", self.evictions)?;
+        item(f, "gc-evictions", self.gc_evictions)?;
         item(f, "cold-failures", self.cold_failures)?;
         if self.breaker != BreakerState::Closed || self.breaker_trips > 0 {
             if !first {

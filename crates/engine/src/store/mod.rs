@@ -75,8 +75,27 @@ pub use retry::{RetryOutcome, RetryPolicy};
 pub use tiered::{TieredBackend, TieredOptions};
 
 use crate::error::EngineError;
-use ssta_core::TimingModel;
+use ssta_core::{SstaConfig, TimingModel};
 use std::path::{Path, PathBuf};
+
+/// Domain separator keying SDF-imported artifacts; content-addressed
+/// over the imported model's binary encoding, so re-importing the same
+/// file is idempotent and two different cells can never collide.
+const SDF_IMPORT_DOMAIN: &[u8] = b"hier-ssta sdf import v1\n";
+
+/// Receipt for one cell imported from an SDF file by
+/// [`ModelStore::import_sdf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfImport {
+    /// The cell's `CELLTYPE` — the imported model's name.
+    pub name: String,
+    /// Store key the model was saved under.
+    pub key: String,
+    /// Whether the cell carried an `SSTM` payload, making the imported
+    /// model bit-identical to the exported one (as opposed to an
+    /// interface-only corner approximation).
+    pub bit_exact: bool,
+}
 
 /// Facts about one stored artifact, reported by the traced accessors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,6 +333,51 @@ impl<B: StorageBackend> ModelStore<B> {
     /// Returns [`EngineError::Io`] if artifacts cannot be removed.
     pub fn clear(&self) -> Result<(), EngineError> {
         self.backend.clear()
+    }
+
+    /// Imports every cell of an SDF file into the library.
+    ///
+    /// Cells carrying an `(SSTM "…")` payload decode to the exported
+    /// model bit-identically; foreign cells become interface-only
+    /// approximate models under `config`, with corner spread read back
+    /// as `sigmas` standard deviations (see
+    /// [`ssta_sdf::import_cell`]). Keys are content-addressed over the
+    /// imported model's binary encoding, so the import is idempotent
+    /// and distinct models never collide; the returned receipts map
+    /// each cell name to its key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] for SDF text that does not parse
+    /// (with the parser's line/column in the reason) or cells that do
+    /// not form a well-shaped model, and save errors as usual.
+    pub fn import_sdf(
+        &self,
+        text: &str,
+        config: &SstaConfig,
+        sigmas: f64,
+    ) -> Result<Vec<SdfImport>, EngineError> {
+        let sdf = ssta_sdf::parse_sdf(text).map_err(|e| EngineError::Store {
+            reason: e.to_string(),
+        })?;
+        let mut receipts = Vec::with_capacity(sdf.cells.len());
+        for cell in &sdf.cells {
+            let model =
+                ssta_sdf::import_cell(cell, config, sigmas).map_err(|e| EngineError::Store {
+                    reason: format!("SDF cell `{}` does not import: {e}", cell.celltype),
+                })?;
+            let payload = ssta_core::codec::encode_model(&model);
+            let mut keyed = SDF_IMPORT_DOMAIN.to_vec();
+            keyed.extend_from_slice(&payload);
+            let key = ssta_math::digest::sha256(&keyed).to_hex();
+            self.save(&key, &model)?;
+            receipts.push(SdfImport {
+                name: cell.celltype.clone(),
+                key,
+                bit_exact: cell.sstm.is_some(),
+            });
+        }
+        Ok(receipts)
     }
 }
 

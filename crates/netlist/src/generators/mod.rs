@@ -21,6 +21,7 @@ pub use layered::{generate_layered, LayeredSpec};
 pub use multiplier::array_multiplier;
 
 use crate::library::library_90nm;
+use crate::sequential::{seq_library_90nm, RegisteredModule};
 use crate::{Netlist, NetlistError, Signal};
 use std::sync::Arc;
 
@@ -92,6 +93,75 @@ pub fn parity_tree(n: usize) -> Result<Netlist, NetlistError> {
     b.finish()
 }
 
+/// Generates the stages of a registered pipeline: each named core becomes
+/// a [`RegisteredModule`] whose inputs are fed by a bank of `register`
+/// cells (looked up in [`seq_library_90nm`]) sharing one clock.
+///
+/// Core names are ISCAS85 benchmark names (`"c432"`, `"c880"`, …) or the
+/// arithmetic generators by prefix (`"rca<width>"` for a ripple-carry
+/// adder, `"parity<n>"` for a parity tree). Each stage's core keeps its
+/// own name suffixed with the stage index (`c432_s0`, `c432_s1`, …) so a
+/// design can tell instances apart while identical structures still
+/// dedupe to one characterization (the netlist *name* is excluded from
+/// content fingerprints).
+///
+/// Wiring the stages together — stage `k` outputs into stage `k+1`
+/// register D pins — is a design-level concern; this generator produces
+/// the per-stage modules a `DesignBuilder` then connects.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] for an empty stage
+/// list, [`NetlistError::UnknownCell`] for an unknown register name, and
+/// propagates core-generator failures.
+///
+/// # Example
+///
+/// ```
+/// use ssta_netlist::generators;
+///
+/// let stages = generators::registered_pipeline(&["rca4", "rca4", "rca4"], "DFF").unwrap();
+/// assert_eq!(stages.len(), 3);
+/// assert_eq!(stages[0].n_registers(), 9);
+/// assert_eq!(stages[1].name(), "rca4_s1");
+/// ```
+pub fn registered_pipeline(
+    cores: &[&str],
+    register: &str,
+) -> Result<Vec<RegisteredModule>, NetlistError> {
+    if cores.is_empty() {
+        return Err(NetlistError::InvalidGeneratorConfig {
+            reason: "registered pipeline needs at least one stage".into(),
+        });
+    }
+    let reg = seq_library_90nm().find(register)?.clone();
+    cores
+        .iter()
+        .enumerate()
+        .map(|(stage, name)| {
+            let core = named_core(name)?.renamed(format!("{name}_s{stage}"));
+            RegisteredModule::new(core, reg.clone())
+        })
+        .collect()
+}
+
+/// Dispatches a core name to the matching combinational generator.
+fn named_core(name: &str) -> Result<Netlist, NetlistError> {
+    let parse_suffix =
+        |prefix: &str| -> Option<usize> { name.strip_prefix(prefix).and_then(|s| s.parse().ok()) };
+    if name.starts_with('c') {
+        iscas85(name)
+    } else if let Some(width) = parse_suffix("rca") {
+        ripple_carry_adder(width)
+    } else if let Some(n) = parse_suffix("parity") {
+        parity_tree(n)
+    } else {
+        Err(NetlistError::InvalidGeneratorConfig {
+            reason: format!("unknown pipeline core `{name}`"),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +214,39 @@ mod tests {
     fn parity_tree_depth_is_logarithmic() {
         let tree = parity_tree(64).unwrap();
         assert_eq!(tree.logic_depth(), 6);
+    }
+
+    #[test]
+    fn registered_pipeline_builds_named_stages() {
+        let stages = registered_pipeline(&["c432", "c880", "c432"], "DFF").unwrap();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].name(), "c432_s0");
+        assert_eq!(stages[1].name(), "c880_s1");
+        assert_eq!(stages[2].name(), "c432_s2");
+        for stage in &stages {
+            stage.core().validate().unwrap();
+            assert_eq!(stage.register().name(), "DFF");
+            assert_eq!(stage.n_registers(), stage.core().n_inputs());
+        }
+    }
+
+    #[test]
+    fn registered_pipeline_accepts_arithmetic_cores() {
+        let stages = registered_pipeline(&["rca8", "parity16"], "DFFX2").unwrap();
+        assert_eq!(stages[0].n_registers(), 17);
+        assert_eq!(stages[1].n_outputs(), 1);
+    }
+
+    #[test]
+    fn registered_pipeline_rejects_bad_configs() {
+        assert!(matches!(
+            registered_pipeline(&[], "DFF"),
+            Err(NetlistError::InvalidGeneratorConfig { .. })
+        ));
+        assert!(matches!(
+            registered_pipeline(&["c432"], "NOSUCHREG"),
+            Err(NetlistError::UnknownCell { .. })
+        ));
+        assert!(registered_pipeline(&["mystery9"], "DFF").is_err());
     }
 }

@@ -18,7 +18,10 @@
 //!   die coordinate (grid membership for the correlation model);
 //! * [`generators`] — circuit generators calibrated to the published
 //!   ISCAS85 timing-graph sizes, including a real 16×16 array multiplier
-//!   standing in for c6288 (see `DESIGN.md` for the substitution argument).
+//!   standing in for c6288 (see `DESIGN.md` for the substitution argument);
+//! * [`sequential`] — flip-flop/latch cells with statistical clock-to-q,
+//!   setup and hold, plus [`RegisteredModule`] and a registered-pipeline
+//!   generator for multi-stage sequential designs.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ mod netlist;
 pub mod generators;
 pub mod library;
 pub mod placement;
+pub mod sequential;
 pub mod simulate;
 
 pub use error::NetlistError;
@@ -51,3 +55,4 @@ pub use gate::GateKind;
 pub use library::{CellType, CellTypeId, Library, ProcessParam, Sensitivity, N_PARAMS};
 pub use netlist::{Gate, Netlist, NetlistBuilder, NetlistStats, Signal};
 pub use placement::{DieRect, Placement};
+pub use sequential::{seq_library_90nm, RegisteredModule, SeqCellType, SeqKind, SeqLibrary};

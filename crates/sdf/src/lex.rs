@@ -1,0 +1,169 @@
+//! The SDF tokenizer.
+//!
+//! SDF is a parenthesized s-expression-like format, so the token alphabet
+//! is tiny: parentheses, double-quoted strings, and bare *atoms* (any
+//! maximal run of other non-whitespace characters — keywords, port
+//! names, numbers and `min:typ:max` triples all lex as atoms; the parser
+//! gives them meaning). Every token carries the 1-based line/column where
+//! it starts so parse errors point at sources, not offsets.
+
+use crate::SdfError;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    LParen,
+    RParen,
+    /// A bare word: keyword, identifier, number or `a:b:c` triple.
+    Atom(String),
+    /// A double-quoted string, quotes stripped (no escape sequences).
+    Quoted(String),
+}
+
+impl Tok {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Atom(a) => format!("`{a}`"),
+            Tok::Quoted(s) => format!("\"{s}\""),
+        }
+    }
+}
+
+/// Tokenizes SDF text.
+///
+/// # Errors
+///
+/// Returns a positioned [`SdfError`] for an unterminated string — the
+/// only lexical defect possible in this alphabet.
+pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, SdfError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        let (at_line, at_col) = (line, col);
+        advance(&mut line, &mut col, c);
+        match c {
+            '(' => tokens.push(Token {
+                kind: Tok::LParen,
+                line: at_line,
+                col: at_col,
+            }),
+            ')' => tokens.push(Token {
+                kind: Tok::RParen,
+                line: at_line,
+                col: at_col,
+            }),
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            advance(&mut line, &mut col, '"');
+                            break;
+                        }
+                        Some(c) => {
+                            advance(&mut line, &mut col, c);
+                            s.push(c);
+                        }
+                        None => {
+                            return Err(SdfError::new(at_line, at_col, "unterminated string"));
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: Tok::Quoted(s),
+                    line: at_line,
+                    col: at_col,
+                });
+            }
+            c if c.is_whitespace() => {}
+            c => {
+                let mut atom = String::new();
+                atom.push(c);
+                while let Some(&next) = chars.peek() {
+                    if next == '(' || next == ')' || next == '"' || next.is_whitespace() {
+                        break;
+                    }
+                    atom.push(next);
+                    advance(&mut line, &mut col, next);
+                    chars.next();
+                }
+                tokens.push(Token {
+                    kind: Tok::Atom(atom),
+                    line: at_line,
+                    col: at_col,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn advance(line: &mut usize, col: &mut usize, c: char) {
+    if c == '\n' {
+        *line += 1;
+        *col = 1;
+    } else {
+        *col += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_with_positions() {
+        let toks = tokenize("(CELL\n  (CELLTYPE \"c432\"))").unwrap();
+        assert_eq!(toks.len(), 7);
+        assert_eq!(toks[0].kind, Tok::LParen);
+        assert_eq!(toks[1].kind, Tok::Atom("CELL".into()));
+        assert_eq!((toks[1].line, toks[1].col), (1, 2));
+        assert_eq!(toks[2].kind, Tok::LParen);
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+        assert_eq!(toks[4].kind, Tok::Quoted("c432".into()));
+        assert_eq!((toks[4].line, toks[4].col), (2, 13));
+    }
+
+    #[test]
+    fn triples_lex_as_one_atom() {
+        let toks = tokenize("(1.5:2:2.5)").unwrap();
+        assert_eq!(toks[1].kind, Tok::Atom("1.5:2:2.5".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_positioned() {
+        let err = tokenize("(DESIGN \"oops").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 9));
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn atoms_stop_at_structure() {
+        let toks = tokenize("a(b)c\"d\"").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Atom("a".into()),
+                Tok::LParen,
+                Tok::Atom("b".into()),
+                Tok::RParen,
+                Tok::Atom("c".into()),
+                Tok::Quoted("d".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! SDF (Standard Delay Format, IEEE 1497) interchange for hier-ssta.
+//!
+//! SDF is the lingua franca EDA tools use to hand timing numbers across
+//! tool boundaries. This crate gives the extracted statistical models a
+//! foothold in that world:
+//!
+//! * a hand-rolled, position-tracking lexer and recursive-descent
+//!   [`parse`]r for the SDF subset the flow needs — `IOPATH` delays,
+//!   `SETUPHOLD`/`RECREM` timing checks, `PERIOD`/`WIDTH` pulse checks —
+//!   every syntax error reported with its line and column;
+//! * a deterministic writer ([`write_sdf`]): same [`Sdf`] in, same bytes
+//!   out, so exported files can be diffed, content-addressed and
+//!   round-tripped byte-identically;
+//! * a [`model`] exchange layer mapping [`TimingModel`]s to SDF cells
+//!   and back. A Gaussian quantity flattens to SDF's min/typ/max triple
+//!   as `μ−kσ : μ : μ+kσ` (k = 3 by default); the exporter additionally
+//!   embeds the full statistical payload in an `(SSTM "…")` vendor
+//!   extension so a hier-ssta importer reconstructs the model
+//!   *bit-identically*, while foreign SDF still imports as an
+//!   interface-only approximate model.
+//!
+//! [`TimingModel`]: ssta_core::TimingModel
+//!
+//! The data model follows the shape real SDF tooling uses (cells with
+//! `IOPATH`/`SETUPHOLD`/`RECREM` records and min:typ:max [`Delay`]
+//! triples), trimmed to the subset this flow writes and reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lex;
+
+pub mod model;
+pub mod parse;
+pub mod write;
+
+pub use model::{
+    export_models, import_cell, import_sdf_models, model_to_cell, ExportOptions, SSTM_KEYWORD,
+};
+pub use parse::parse_sdf;
+pub use write::write_sdf;
+
+use std::fmt;
+
+/// One parsed SDF file: header fields plus cells, in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sdf {
+    /// `(SDFVERSION "…")`.
+    pub sdfversion: Option<String>,
+    /// `(DESIGN "…")`.
+    pub design: Option<String>,
+    /// `(DATE "…")`.
+    pub date: Option<String>,
+    /// `(VENDOR "…")`.
+    pub vendor: Option<String>,
+    /// `(PROGRAM "…")`.
+    pub program: Option<String>,
+    /// `(VERSION "…")`.
+    pub version: Option<String>,
+    /// `(DIVIDER …)` — hierarchy divider character.
+    pub divider: Option<String>,
+    /// `(TIMESCALE …)`, verbatim (e.g. `1ps`).
+    pub timescale: Option<String>,
+    /// The cells, in file order.
+    pub cells: Vec<Cell>,
+}
+
+impl Sdf {
+    /// Parses SDF text. Equivalent to [`parse_sdf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`SdfError`] on the first syntax defect.
+    pub fn parse(text: &str) -> Result<Sdf, SdfError> {
+        parse_sdf(text)
+    }
+}
+
+impl fmt::Display for Sdf {
+    /// Writes the canonical text form (see [`write_sdf`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write_sdf(self))
+    }
+}
+
+/// One `(CELL …)` record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Cell {
+    /// `(CELLTYPE "…")` — the module/model name.
+    pub celltype: String,
+    /// `(INSTANCE …)` — optional instance path.
+    pub instance: Option<String>,
+    /// `(DELAY (ABSOLUTE (IOPATH …)*))` records.
+    pub iopath: Vec<IoPath>,
+    /// `(SETUPHOLD …)` timing checks.
+    pub setuphold: Vec<SetupHold>,
+    /// `(RECREM …)` recovery/removal checks.
+    pub recrem: Vec<RecRem>,
+    /// `(PERIOD …)` checks.
+    pub period: Vec<Period>,
+    /// `(WIDTH …)` pulse-width checks.
+    pub width: Vec<Width>,
+    /// `(SSTM "…")` vendor extension: the hex-encoded binary statistical
+    /// model payload (see [`model`]).
+    pub sstm: Option<String>,
+}
+
+/// One `IOPATH` delay arc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoPath {
+    /// Source port, possibly edge-qualified (`(posedge clk)` for
+    /// clock-to-output arcs).
+    pub from: Edge,
+    /// Destination port.
+    pub to: Edge,
+    /// Rise delay triple.
+    pub rise: Delay,
+    /// Fall delay triple.
+    pub fall: Delay,
+}
+
+/// One `SETUPHOLD` check: data port against clock port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupHold {
+    /// Data port edge.
+    pub edge_d: Edge,
+    /// Clock port edge.
+    pub edge_c: Edge,
+    /// Setup triple; `None` writes/parses as the empty `()` value.
+    pub setup: Option<Delay>,
+    /// Hold triple; `None` writes/parses as the empty `()` value.
+    pub hold: Option<Delay>,
+}
+
+/// One `RECREM` recovery/removal check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecRem {
+    /// Asynchronous-control port edge.
+    pub edge_r: Edge,
+    /// Clock port edge.
+    pub edge_c: Edge,
+    /// Recovery triple; `None` writes/parses as `()`.
+    pub recovery: Option<Delay>,
+    /// Removal triple; `None` writes/parses as `()`.
+    pub removal: Option<Delay>,
+}
+
+/// One `PERIOD` check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Period {
+    /// Clock port edge.
+    pub edge: Edge,
+    /// Minimum period triple.
+    pub val: Delay,
+}
+
+/// One `WIDTH` pulse-width check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Width {
+    /// Port edge.
+    pub edge: Edge,
+    /// Minimum pulse width triple.
+    pub val: Delay,
+}
+
+/// A min/typ/max delay triple, written as `(min:typ:max)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delay {
+    /// Fast-corner value.
+    pub min: f64,
+    /// Typical value.
+    pub typ: f64,
+    /// Slow-corner value.
+    pub max: f64,
+}
+
+impl Delay {
+    /// A degenerate triple with all three corners equal.
+    pub fn flat(v: f64) -> Self {
+        Delay {
+            min: v,
+            typ: v,
+            max: v,
+        }
+    }
+}
+
+/// A port reference, optionally qualified by a clock edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edge {
+    /// Bare port name.
+    Plain(String),
+    /// `(posedge port)`.
+    Posedge(String),
+    /// `(negedge port)`.
+    Negedge(String),
+}
+
+impl Edge {
+    /// The referenced port name, edge qualifier stripped.
+    pub fn port(&self) -> &str {
+        match self {
+            Edge::Plain(p) | Edge::Posedge(p) | Edge::Negedge(p) => p,
+        }
+    }
+
+    /// `true` for `Posedge`/`Negedge` references.
+    pub fn is_clocked(&self) -> bool {
+        !matches!(self, Edge::Plain(_))
+    }
+}
+
+/// A positioned SDF syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfError {
+    /// 1-based line of the first defect.
+    pub line: usize,
+    /// 1-based column of the first defect.
+    pub col: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl SdfError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        SdfError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SDF parse error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+/// Lowercase-hex encodes bytes (the `SSTM` payload encoding).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+/// Decodes lowercase/uppercase hex into bytes.
+///
+/// # Errors
+///
+/// Returns the byte offset of the first non-hex digit, or `Err(len)` for
+/// odd-length input.
+pub fn from_hex(hex: &str) -> Result<Vec<u8>, usize> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(hex.len());
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for (i, pair) in digits.chunks_exact(2).enumerate() {
+        let nib = |d: u8, at: usize| -> Result<u8, usize> {
+            (d as char).to_digit(16).map(|v| v as u8).ok_or(at)
+        };
+        out.push((nib(pair[0], 2 * i)? << 4) | nib(pair[1], 2 * i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(from_hex("abc"), Err(3));
+        assert_eq!(from_hex("zz"), Err(0));
+        assert_eq!(from_hex("aaxz"), Err(2));
+    }
+
+    #[test]
+    fn edge_accessors() {
+        assert_eq!(Edge::Posedge("clk".into()).port(), "clk");
+        assert!(Edge::Negedge("clk".into()).is_clocked());
+        assert!(!Edge::Plain("d".into()).is_clocked());
+    }
+
+    #[test]
+    fn error_displays_position() {
+        let e = SdfError::new(3, 14, "expected `(`");
+        assert_eq!(
+            e.to_string(),
+            "SDF parse error at line 3, column 14: expected `(`"
+        );
+    }
+}

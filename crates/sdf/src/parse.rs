@@ -1,0 +1,554 @@
+//! Recursive-descent SDF parser.
+//!
+//! Parses the subset written by [`write`](crate::write): a `DELAYFILE`
+//! with header records, and cells carrying `IOPATH` delays,
+//! `SETUPHOLD`/`RECREM`/`PERIOD`/`WIDTH` timing checks and the `SSTM`
+//! vendor extension. Section order inside a cell is free; duplicate
+//! scalar sections, unknown keywords, malformed numbers and structural
+//! defects are all rejected with the line/column of the offending token.
+
+use crate::lex::{tokenize, Tok, Token};
+use crate::{Cell, Delay, Edge, IoPath, Period, RecRem, Sdf, SdfError, SetupHold, Width};
+
+/// Parses SDF text into an [`Sdf`].
+///
+/// # Errors
+///
+/// Returns a positioned [`SdfError`] on the first lexical or structural
+/// defect.
+pub fn parse_sdf(text: &str) -> Result<Sdf, SdfError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let sdf = p.delayfile()?;
+    if let Some(t) = p.peek() {
+        return Err(SdfError::new(
+            t.line,
+            t.col,
+            format!("unexpected {} after `(DELAYFILE …)`", t.kind.describe()),
+        ));
+    }
+    Ok(sdf)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Position for "ran out of input" errors: just past the end of the
+    /// last token (single-line tokens only, which this alphabet
+    /// guarantees for everything but multi-line quoted strings).
+    fn eof_error(&self, expected: &str) -> SdfError {
+        let (line, col) = self
+            .tokens
+            .last()
+            .map(|t| {
+                let width = match &t.kind {
+                    Tok::LParen | Tok::RParen => 1,
+                    Tok::Atom(a) => a.chars().count(),
+                    Tok::Quoted(s) => s.chars().count() + 2,
+                };
+                (t.line, t.col + width)
+            })
+            .unwrap_or((1, 1));
+        SdfError::new(
+            line,
+            col,
+            format!("expected {expected}, found end of input"),
+        )
+    }
+
+    fn expect_lparen(&mut self, context: &str) -> Result<(), SdfError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::LParen, ..
+            }) => Ok(()),
+            Some(t) => Err(SdfError::new(
+                t.line,
+                t.col,
+                format!("expected `(` {context}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.eof_error(&format!("`(` {context}"))),
+        }
+    }
+
+    fn expect_rparen(&mut self, context: &str) -> Result<(), SdfError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::RParen, ..
+            }) => Ok(()),
+            Some(t) => Err(SdfError::new(
+                t.line,
+                t.col,
+                format!("expected `)` {context}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.eof_error(&format!("`)` {context}"))),
+        }
+    }
+
+    fn expect_atom(&mut self, context: &str) -> Result<(String, usize, usize), SdfError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Atom(a),
+                line,
+                col,
+            }) => Ok((a, line, col)),
+            Some(t) => Err(SdfError::new(
+                t.line,
+                t.col,
+                format!("expected {context}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.eof_error(context)),
+        }
+    }
+
+    fn expect_quoted(&mut self, context: &str) -> Result<String, SdfError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Quoted(s),
+                ..
+            }) => Ok(s),
+            Some(t) => Err(SdfError::new(
+                t.line,
+                t.col,
+                format!("expected quoted {context}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.eof_error(&format!("quoted {context}"))),
+        }
+    }
+
+    /// `true` if the next token closes the current list.
+    fn at_rparen(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token {
+                kind: Tok::RParen,
+                ..
+            })
+        )
+    }
+
+    fn delayfile(&mut self) -> Result<Sdf, SdfError> {
+        self.expect_lparen("to open the delay file")?;
+        let (kw, line, col) = self.expect_atom("`DELAYFILE`")?;
+        if kw != "DELAYFILE" {
+            return Err(SdfError::new(
+                line,
+                col,
+                format!("expected `DELAYFILE`, found `{kw}`"),
+            ));
+        }
+        let mut sdf = Sdf::default();
+        while !self.at_rparen() {
+            self.expect_lparen("to open a header record or cell")?;
+            let (kw, line, col) = self.expect_atom("a header keyword or `CELL`")?;
+            let dup = |field: &Option<String>| -> Result<(), SdfError> {
+                if field.is_some() {
+                    Err(SdfError::new(line, col, format!("duplicate `{kw}` record")))
+                } else {
+                    Ok(())
+                }
+            };
+            match kw.as_str() {
+                "SDFVERSION" => {
+                    dup(&sdf.sdfversion)?;
+                    sdf.sdfversion = Some(self.expect_quoted("SDF version")?);
+                }
+                "DESIGN" => {
+                    dup(&sdf.design)?;
+                    sdf.design = Some(self.expect_quoted("design name")?);
+                }
+                "DATE" => {
+                    dup(&sdf.date)?;
+                    sdf.date = Some(self.expect_quoted("date")?);
+                }
+                "VENDOR" => {
+                    dup(&sdf.vendor)?;
+                    sdf.vendor = Some(self.expect_quoted("vendor")?);
+                }
+                "PROGRAM" => {
+                    dup(&sdf.program)?;
+                    sdf.program = Some(self.expect_quoted("program")?);
+                }
+                "VERSION" => {
+                    dup(&sdf.version)?;
+                    sdf.version = Some(self.expect_quoted("version")?);
+                }
+                "DIVIDER" => {
+                    dup(&sdf.divider)?;
+                    sdf.divider = Some(self.expect_atom("divider character")?.0);
+                }
+                "TIMESCALE" => {
+                    dup(&sdf.timescale)?;
+                    sdf.timescale = Some(self.atoms_until_rparen()?);
+                    continue; // `)` already consumed
+                }
+                "CELL" => {
+                    sdf.cells.push(self.cell()?);
+                    continue; // `)` already consumed
+                }
+                other => {
+                    return Err(SdfError::new(
+                        line,
+                        col,
+                        format!("unknown record `{other}` (expected a header record or `CELL`)"),
+                    ));
+                }
+            }
+            self.expect_rparen("to close the header record")?;
+        }
+        self.expect_rparen("to close `DELAYFILE`")?;
+        Ok(sdf)
+    }
+
+    /// Joins the atoms up to (and consuming) the closing `)`.
+    fn atoms_until_rparen(&mut self) -> Result<String, SdfError> {
+        let mut parts = Vec::new();
+        while !self.at_rparen() {
+            parts.push(self.expect_atom("a value")?.0);
+        }
+        self.expect_rparen("to close the record")?;
+        Ok(parts.join(" "))
+    }
+
+    /// Parses a cell body; the opening `(CELL` is already consumed, the
+    /// closing `)` is consumed here.
+    fn cell(&mut self) -> Result<Cell, SdfError> {
+        let mut cell = Cell::default();
+        let mut has_celltype = false;
+        while !self.at_rparen() {
+            self.expect_lparen("to open a cell section")?;
+            let (kw, line, col) = self.expect_atom("a cell section keyword")?;
+            match kw.as_str() {
+                "CELLTYPE" => {
+                    if has_celltype {
+                        return Err(SdfError::new(line, col, "duplicate `CELLTYPE`"));
+                    }
+                    has_celltype = true;
+                    cell.celltype = self.expect_quoted("cell type")?;
+                    self.expect_rparen("to close `CELLTYPE`")?;
+                }
+                "INSTANCE" => {
+                    if cell.instance.is_some() {
+                        return Err(SdfError::new(line, col, "duplicate `INSTANCE`"));
+                    }
+                    cell.instance = Some(self.atoms_until_rparen()?);
+                }
+                "DELAY" => {
+                    self.expect_lparen("to open `ABSOLUTE`")?;
+                    let (kw, line, col) = self.expect_atom("`ABSOLUTE`")?;
+                    if kw != "ABSOLUTE" {
+                        return Err(SdfError::new(
+                            line,
+                            col,
+                            format!("expected `ABSOLUTE`, found `{kw}` (INCREMENT unsupported)"),
+                        ));
+                    }
+                    while !self.at_rparen() {
+                        cell.iopath.push(self.iopath()?);
+                    }
+                    self.expect_rparen("to close `ABSOLUTE`")?;
+                    self.expect_rparen("to close `DELAY`")?;
+                }
+                "TIMINGCHECK" => {
+                    while !self.at_rparen() {
+                        self.timing_check(&mut cell)?;
+                    }
+                    self.expect_rparen("to close `TIMINGCHECK`")?;
+                }
+                "SSTM" => {
+                    if cell.sstm.is_some() {
+                        return Err(SdfError::new(line, col, "duplicate `SSTM`"));
+                    }
+                    cell.sstm = Some(self.expect_quoted("SSTM payload")?);
+                    self.expect_rparen("to close `SSTM`")?;
+                }
+                other => {
+                    return Err(SdfError::new(
+                        line,
+                        col,
+                        format!("unknown cell section `{other}`"),
+                    ));
+                }
+            }
+        }
+        self.expect_rparen("to close `CELL`")?;
+        if !has_celltype {
+            let (line, col) = self
+                .tokens
+                .get(self.pos - 1)
+                .map(|t| (t.line, t.col))
+                .unwrap_or((1, 1));
+            return Err(SdfError::new(line, col, "cell is missing `CELLTYPE`"));
+        }
+        Ok(cell)
+    }
+
+    fn iopath(&mut self) -> Result<IoPath, SdfError> {
+        self.expect_lparen("to open `IOPATH`")?;
+        let (kw, line, col) = self.expect_atom("`IOPATH`")?;
+        if kw != "IOPATH" {
+            return Err(SdfError::new(
+                line,
+                col,
+                format!("expected `IOPATH`, found `{kw}`"),
+            ));
+        }
+        let from = self.edge()?;
+        let to = self.edge()?;
+        let rise = self.triple()?;
+        let fall = self.triple()?;
+        self.expect_rparen("to close `IOPATH`")?;
+        Ok(IoPath {
+            from,
+            to,
+            rise,
+            fall,
+        })
+    }
+
+    fn timing_check(&mut self, cell: &mut Cell) -> Result<(), SdfError> {
+        self.expect_lparen("to open a timing check")?;
+        let (kw, line, col) = self.expect_atom("a timing-check keyword")?;
+        match kw.as_str() {
+            "SETUPHOLD" => {
+                let edge_d = self.edge()?;
+                let edge_c = self.edge()?;
+                let setup = self.optional_triple()?;
+                let hold = self.optional_triple()?;
+                cell.setuphold.push(SetupHold {
+                    edge_d,
+                    edge_c,
+                    setup,
+                    hold,
+                });
+            }
+            "RECREM" => {
+                let edge_r = self.edge()?;
+                let edge_c = self.edge()?;
+                let recovery = self.optional_triple()?;
+                let removal = self.optional_triple()?;
+                cell.recrem.push(RecRem {
+                    edge_r,
+                    edge_c,
+                    recovery,
+                    removal,
+                });
+            }
+            "PERIOD" => {
+                let edge = self.edge()?;
+                let val = self.triple()?;
+                cell.period.push(Period { edge, val });
+            }
+            "WIDTH" => {
+                let edge = self.edge()?;
+                let val = self.triple()?;
+                cell.width.push(Width { edge, val });
+            }
+            other => {
+                return Err(SdfError::new(
+                    line,
+                    col,
+                    format!("unknown timing check `{other}`"),
+                ));
+            }
+        }
+        self.expect_rparen("to close the timing check")?;
+        Ok(())
+    }
+
+    fn edge(&mut self) -> Result<Edge, SdfError> {
+        match self.next() {
+            Some(Token {
+                kind: Tok::Atom(port),
+                ..
+            }) => Ok(Edge::Plain(port)),
+            Some(Token {
+                kind: Tok::LParen, ..
+            }) => {
+                let (kw, line, col) = self.expect_atom("`posedge` or `negedge`")?;
+                let port = self.expect_atom("a port name")?.0;
+                let edge = match kw.as_str() {
+                    "posedge" => Edge::Posedge(port),
+                    "negedge" => Edge::Negedge(port),
+                    other => {
+                        return Err(SdfError::new(
+                            line,
+                            col,
+                            format!("expected `posedge` or `negedge`, found `{other}`"),
+                        ));
+                    }
+                };
+                self.expect_rparen("to close the edge")?;
+                Ok(edge)
+            }
+            Some(t) => Err(SdfError::new(
+                t.line,
+                t.col,
+                format!("expected a port reference, found {}", t.kind.describe()),
+            )),
+            None => Err(self.eof_error("a port reference")),
+        }
+    }
+
+    fn triple(&mut self) -> Result<Delay, SdfError> {
+        self.optional_triple()?.ok_or_else(|| {
+            let (line, col) = self
+                .tokens
+                .get(self.pos.saturating_sub(1))
+                .map(|t| (t.line, t.col))
+                .unwrap_or((1, 1));
+            SdfError::new(line, col, "this delay triple may not be empty")
+        })
+    }
+
+    /// Parses `(min:typ:max)` into a triple, or `()` into `None`.
+    fn optional_triple(&mut self) -> Result<Option<Delay>, SdfError> {
+        self.expect_lparen("to open a delay triple")?;
+        if self.at_rparen() {
+            self.expect_rparen("to close the empty value")?;
+            return Ok(None);
+        }
+        let (atom, line, col) = self.expect_atom("a `min:typ:max` triple")?;
+        let parts: Vec<&str> = atom.split(':').collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(SdfError::new(
+                line,
+                col,
+                format!("malformed triple `{atom}` (expected `min:typ:max`)"),
+            ));
+        }
+        let num = |s: &str| -> Result<f64, SdfError> {
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| SdfError::new(line, col, format!("`{s}` is not a finite number")))
+        };
+        let delay = Delay {
+            min: num(parts[0])?,
+            typ: num(parts[1])?,
+            max: num(parts[2])?,
+        };
+        self.expect_rparen("to close the delay triple")?;
+        Ok(Some(delay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"(DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "pipe")
+  (TIMESCALE 1ps)
+  (CELL
+    (CELLTYPE "rca4_s0")
+    (INSTANCE s0)
+    (DELAY
+      (ABSOLUTE
+        (IOPATH i0 o0 (1.5:2:2.5) (1.5:2:2.5))
+        (IOPATH (posedge clk) o0 (60:64:68) (60:64:68))
+      )
+    )
+    (TIMINGCHECK
+      (SETUPHOLD (posedge i0) (posedge clk) (40:42:44) (22:24:26))
+      (RECREM (posedge rst) (posedge clk) (5:6:7) ())
+      (PERIOD (posedge clk) (900:1000:1100))
+      (WIDTH (negedge clk) (400:450:500))
+    )
+    (SSTM "0a0b")
+  )
+)"#;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let sdf = parse_sdf(SMALL).unwrap();
+        assert_eq!(sdf.design.as_deref(), Some("pipe"));
+        assert_eq!(sdf.timescale.as_deref(), Some("1ps"));
+        assert_eq!(sdf.cells.len(), 1);
+        let cell = &sdf.cells[0];
+        assert_eq!(cell.celltype, "rca4_s0");
+        assert_eq!(cell.instance.as_deref(), Some("s0"));
+        assert_eq!(cell.iopath.len(), 2);
+        assert_eq!(cell.iopath[0].from, Edge::Plain("i0".into()));
+        assert_eq!(cell.iopath[1].from, Edge::Posedge("clk".into()));
+        assert_eq!(cell.iopath[0].rise.typ, 2.0);
+        assert_eq!(cell.setuphold.len(), 1);
+        assert_eq!(cell.setuphold[0].hold.unwrap().max, 26.0);
+        assert_eq!(cell.recrem[0].removal, None);
+        assert_eq!(cell.period[0].val.typ, 1000.0);
+        assert_eq!(cell.width[0].edge, Edge::Negedge("clk".into()));
+        assert_eq!(cell.sstm.as_deref(), Some("0a0b"));
+    }
+
+    #[test]
+    fn rejects_unknown_record_with_position() {
+        let err = parse_sdf("(DELAYFILE\n  (FREQUENCY \"10\")\n)").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 4));
+        assert!(err.message.contains("FREQUENCY"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_malformed_triple_with_position() {
+        let text =
+            "(DELAYFILE (CELL (CELLTYPE \"x\")\n (DELAY (ABSOLUTE (IOPATH a y (1:2) (1:2:3))))))";
+        let err = parse_sdf(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("1:2"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_non_numeric_delay() {
+        let text = "(DELAYFILE (CELL (CELLTYPE \"x\")\n (DELAY (ABSOLUTE (IOPATH a y (1:fast:3) (1:2:3))))))";
+        let err = parse_sdf(text).unwrap_err();
+        assert!(err.message.contains("fast"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_missing_celltype() {
+        let err = parse_sdf("(DELAYFILE (CELL (INSTANCE top)))").unwrap_err();
+        assert!(err.message.contains("CELLTYPE"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_duplicate_headers() {
+        let err = parse_sdf("(DELAYFILE (DESIGN \"a\") (DESIGN \"b\"))").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_sdf("(DELAYFILE) extra").unwrap_err();
+        assert!(err.message.contains("unexpected"), "{}", err.message);
+        assert_eq!((err.line, err.col), (1, 13));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let err = parse_sdf("(DELAYFILE (CELL (CELLTYPE \"x\")").unwrap_err();
+        assert!(err.message.contains("end of input"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_setup_value_parses_as_none() {
+        let text = "(DELAYFILE (CELL (CELLTYPE \"x\") (TIMINGCHECK (SETUPHOLD d (posedge c) () (1:2:3)))))";
+        let sdf = parse_sdf(text).unwrap();
+        let sh = &sdf.cells[0].setuphold[0];
+        assert_eq!(sh.setup, None);
+        assert_eq!(sh.hold.unwrap().typ, 2.0);
+    }
+}

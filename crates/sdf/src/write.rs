@@ -1,0 +1,247 @@
+//! The canonical SDF writer.
+//!
+//! Deterministic: the same [`Sdf`] value always produces the same bytes,
+//! so exported files diff cleanly and content-address stably. Numbers are
+//! printed with Rust's shortest-round-trip `f64` formatting, which makes
+//! write → parse → write a byte-level fixpoint.
+
+use crate::{Cell, Delay, Edge, Sdf};
+use std::fmt::Write as _;
+
+/// Renders an [`Sdf`] in the canonical text form.
+pub fn write_sdf(sdf: &Sdf) -> String {
+    let mut out = String::new();
+    out.push_str("(DELAYFILE\n");
+    let quoted: [(&str, &Option<String>); 6] = [
+        ("SDFVERSION", &sdf.sdfversion),
+        ("DESIGN", &sdf.design),
+        ("DATE", &sdf.date),
+        ("VENDOR", &sdf.vendor),
+        ("PROGRAM", &sdf.program),
+        ("VERSION", &sdf.version),
+    ];
+    for (kw, val) in quoted {
+        if let Some(v) = val {
+            let _ = writeln!(out, "  ({kw} \"{v}\")");
+        }
+    }
+    if let Some(v) = &sdf.divider {
+        let _ = writeln!(out, "  (DIVIDER {v})");
+    }
+    if let Some(v) = &sdf.timescale {
+        if v.is_empty() {
+            out.push_str("  (TIMESCALE)\n");
+        } else {
+            let _ = writeln!(out, "  (TIMESCALE {v})");
+        }
+    }
+    for cell in &sdf.cells {
+        write_cell(&mut out, cell);
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn write_cell(out: &mut String, cell: &Cell) {
+    out.push_str("  (CELL\n");
+    let _ = writeln!(out, "    (CELLTYPE \"{}\")", cell.celltype);
+    if let Some(inst) = &cell.instance {
+        if inst.is_empty() {
+            out.push_str("    (INSTANCE)\n");
+        } else {
+            let _ = writeln!(out, "    (INSTANCE {inst})");
+        }
+    }
+    if !cell.iopath.is_empty() {
+        out.push_str("    (DELAY\n      (ABSOLUTE\n");
+        for p in &cell.iopath {
+            let _ = writeln!(
+                out,
+                "        (IOPATH {} {} {} {})",
+                edge(&p.from),
+                edge(&p.to),
+                triple(&p.rise),
+                triple(&p.fall)
+            );
+        }
+        out.push_str("      )\n    )\n");
+    }
+    let has_checks = !cell.setuphold.is_empty()
+        || !cell.recrem.is_empty()
+        || !cell.period.is_empty()
+        || !cell.width.is_empty();
+    if has_checks {
+        out.push_str("    (TIMINGCHECK\n");
+        for c in &cell.setuphold {
+            let _ = writeln!(
+                out,
+                "      (SETUPHOLD {} {} {} {})",
+                edge(&c.edge_d),
+                edge(&c.edge_c),
+                opt_triple(c.setup.as_ref()),
+                opt_triple(c.hold.as_ref())
+            );
+        }
+        for c in &cell.recrem {
+            let _ = writeln!(
+                out,
+                "      (RECREM {} {} {} {})",
+                edge(&c.edge_r),
+                edge(&c.edge_c),
+                opt_triple(c.recovery.as_ref()),
+                opt_triple(c.removal.as_ref())
+            );
+        }
+        for c in &cell.period {
+            let _ = writeln!(out, "      (PERIOD {} {})", edge(&c.edge), triple(&c.val));
+        }
+        for c in &cell.width {
+            let _ = writeln!(out, "      (WIDTH {} {})", edge(&c.edge), triple(&c.val));
+        }
+        out.push_str("    )\n");
+    }
+    if let Some(hex) = &cell.sstm {
+        let _ = writeln!(out, "    (SSTM \"{hex}\")");
+    }
+    out.push_str("  )\n");
+}
+
+fn edge(e: &Edge) -> String {
+    match e {
+        Edge::Plain(p) => p.clone(),
+        Edge::Posedge(p) => format!("(posedge {p})"),
+        Edge::Negedge(p) => format!("(negedge {p})"),
+    }
+}
+
+fn triple(d: &Delay) -> String {
+    format!("({}:{}:{})", d.min, d.typ, d.max)
+}
+
+fn opt_triple(d: Option<&Delay>) -> String {
+    match d {
+        Some(d) => triple(d),
+        None => "()".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_sdf, IoPath, Period, RecRem, SetupHold, Width};
+
+    fn sample() -> Sdf {
+        Sdf {
+            sdfversion: Some("3.0".into()),
+            design: Some("pipe".into()),
+            date: None,
+            vendor: Some("hier-ssta".into()),
+            program: None,
+            version: None,
+            divider: Some("/".into()),
+            timescale: Some("1ps".into()),
+            cells: vec![Cell {
+                celltype: "rca4_s0".into(),
+                instance: Some("s0".into()),
+                iopath: vec![
+                    IoPath {
+                        from: Edge::Plain("i0".into()),
+                        to: Edge::Plain("o0".into()),
+                        rise: Delay {
+                            min: 1.5,
+                            typ: 2.0,
+                            max: 2.5,
+                        },
+                        fall: Delay {
+                            min: 1.5,
+                            typ: 2.0,
+                            max: 2.5,
+                        },
+                    },
+                    IoPath {
+                        from: Edge::Posedge("clk".into()),
+                        to: Edge::Plain("o0".into()),
+                        rise: Delay::flat(64.0),
+                        fall: Delay::flat(64.0),
+                    },
+                ],
+                setuphold: vec![SetupHold {
+                    edge_d: Edge::Posedge("i0".into()),
+                    edge_c: Edge::Posedge("clk".into()),
+                    setup: Some(Delay {
+                        min: 40.0,
+                        typ: 42.0,
+                        max: 44.0,
+                    }),
+                    hold: None,
+                }],
+                recrem: vec![RecRem {
+                    edge_r: Edge::Posedge("rst".into()),
+                    edge_c: Edge::Posedge("clk".into()),
+                    recovery: Some(Delay::flat(6.0)),
+                    removal: None,
+                }],
+                period: vec![Period {
+                    edge: Edge::Posedge("clk".into()),
+                    val: Delay {
+                        min: 900.0,
+                        typ: 1000.0,
+                        max: 1100.0,
+                    },
+                }],
+                width: vec![Width {
+                    edge: Edge::Negedge("clk".into()),
+                    val: Delay::flat(450.0),
+                }],
+                sstm: Some("0a0b".into()),
+            }],
+        }
+    }
+
+    #[test]
+    fn write_parse_round_trips_structurally() {
+        let sdf = sample();
+        let text = write_sdf(&sdf);
+        let back = parse_sdf(&text).unwrap();
+        assert_eq!(back, sdf);
+    }
+
+    #[test]
+    fn write_parse_write_is_a_fixpoint() {
+        let text = write_sdf(&sample());
+        let again = write_sdf(&parse_sdf(&text).unwrap());
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let sdf = Sdf {
+            design: Some("d".into()),
+            cells: vec![Cell {
+                celltype: "x".into(),
+                ..Cell::default()
+            }],
+            ..Sdf::default()
+        };
+        let text = write_sdf(&sdf);
+        assert!(!text.contains("ABSOLUTE"), "{text}");
+        assert!(!text.contains("TIMINGCHECK"), "{text}");
+        assert!(!text.contains("INSTANCE"), "{text}");
+        assert!(!text.contains("SSTM"), "{text}");
+        assert_eq!(parse_sdf(&text).unwrap(), sdf);
+    }
+
+    #[test]
+    fn shortest_float_formatting_survives_round_trip() {
+        let mut sdf = sample();
+        sdf.cells[0].iopath[0].rise = Delay {
+            min: 0.1,
+            typ: 1.0 / 3.0,
+            max: 1e-12,
+        };
+        sdf.cells[0].iopath[0].fall = sdf.cells[0].iopath[0].rise;
+        let text = write_sdf(&sdf);
+        assert_eq!(parse_sdf(&text).unwrap(), sdf);
+        assert_eq!(write_sdf(&parse_sdf(&text).unwrap()), text);
+    }
+}

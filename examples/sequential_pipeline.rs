@@ -1,0 +1,154 @@
+//! Sequential pipeline walkthrough: generate a registered pipeline,
+//! extract statistical register-bounded timing models, analyze the
+//! design stage by stage, then round-trip the models through SDF and
+//! the engine's model store and show the re-analysis is bit-identical.
+//!
+//! Run with `cargo run --release --example sequential_pipeline`.
+
+use hier_ssta::core::{
+    analyze_sequential, extract_registered, ExtractOptions, ModuleContext,
+    SequentialAnalyzeOptions, SstaConfig, TimingModel,
+};
+use hier_ssta::engine::{MemoryBackend, ModelStore};
+use hier_ssta::netlist::{generators, DieRect};
+use hier_ssta::sdf::{export_models, write_sdf, ExportOptions};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 3-stage registered pipeline: each core's inputs sit behind a
+    //    bank of DFFs sharing one clock.
+    let cores = ["c432", "c880", "c432"];
+    let stages = generators::registered_pipeline(&cores, "DFF")?;
+    let config = SstaConfig::paper();
+    for stage in &stages {
+        println!(
+            "stage `{}`: {} gates behind {} registers",
+            stage.name(),
+            stage.core().n_gates(),
+            stage.n_registers()
+        );
+    }
+
+    // 2. Extract one register-bounded timing model per stage: clock-to-q
+    //    launch, setup and hold constraint arcs, all statistical.
+    let models: Vec<Arc<TimingModel>> = stages
+        .iter()
+        .map(|stage| {
+            let ctx = ModuleContext::characterize(stage.core().clone(), &config)?;
+            Ok(Arc::new(extract_registered(
+                &ctx,
+                stage.register(),
+                &ExtractOptions::default(),
+            )?))
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    for model in &models {
+        let seq = model.sequential().expect("registered model");
+        println!(
+            "model `{}`: {} launch, {} setup, {} hold arcs (clock `{}`)",
+            model.name(),
+            seq.launch.len(),
+            seq.setup.len(),
+            seq.hold.len(),
+            seq.clock_pin
+        );
+    }
+
+    // 3. Chain the stages into one design and analyze it sequentially:
+    //    arrivals propagate *through* the registered boundaries, and each
+    //    stage reports its own required period and slack distributions.
+    let design = chain("seq-pipeline", &config, &models);
+    let options = SequentialAnalyzeOptions::with_period(3000.0);
+    let timing = analyze_sequential(&design, &options)?;
+    println!("\nclock period {} ps:", options.clock_period_ps);
+    for stage in &timing.stages {
+        println!(
+            "  {}: required {:.1} ps, setup slack mean {:.1} ps (sigma {:.1})",
+            stage.instance,
+            stage.required_period.mean(),
+            stage.setup_slack.mean(),
+            stage.setup_slack.std_dev()
+        );
+    }
+    println!(
+        "  min period: mean {:.1} ps, sigma {:.1} ps",
+        timing.min_period.mean(),
+        timing.min_period.std_dev()
+    );
+
+    // 4. Export the models as SDF. Min/typ/max corners are mu-3sigma /
+    //    mu / mu+3sigma of each statistical arc; the full canonical forms
+    //    ride along in an SSTM payload so the import is lossless.
+    let text = write_sdf(&export_models(
+        models.iter().map(Arc::as_ref),
+        &ExportOptions::default(),
+    )?);
+    println!(
+        "\nexported {} cells as SDF ({} bytes)",
+        models.len(),
+        text.len()
+    );
+
+    // 5. Import the SDF into the engine's content-addressed model store
+    //    and re-run the analysis from the store's copies: bit-identical.
+    let store = ModelStore::with_backend(MemoryBackend::new());
+    let receipts = store.import_sdf(&text, &config, 3.0)?;
+    let imported: Vec<Arc<TimingModel>> = receipts
+        .iter()
+        .map(|r| Ok(Arc::new(store.load(&r.key)?.expect("just imported"))))
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    for receipt in &receipts {
+        println!(
+            "  imported `{}` -> {} ({})",
+            receipt.name,
+            &receipt.key[..12],
+            if receipt.bit_exact {
+                "bit-exact"
+            } else {
+                "approximate"
+            }
+        );
+    }
+    let replay = analyze_sequential(&chain("seq-pipeline", &config, &imported), &options)?;
+    assert_eq!(replay.min_period, timing.min_period);
+    assert_eq!(replay.worst_setup_slack, timing.worst_setup_slack);
+    println!("re-analysis from the imported models is bit-identical");
+    Ok(())
+}
+
+/// Chains stage models left to right: stage `k` outputs feed stage
+/// `k+1` register D pins round-robin.
+fn chain(name: &str, config: &SstaConfig, models: &[Arc<TimingModel>]) -> hier_ssta::core::Design {
+    let widths: Vec<f64> = models.iter().map(|m| m.geometry().extent_um().0).collect();
+    let height = models
+        .iter()
+        .map(|m| m.geometry().extent_um().1)
+        .fold(0.0f64, f64::max);
+    let die = DieRect {
+        width: widths.iter().sum(),
+        height,
+    };
+    let mut b = hier_ssta::core::DesignBuilder::new(name, die, config.clone());
+    let mut ids = Vec::new();
+    let mut x = 0.0;
+    for (k, model) in models.iter().enumerate() {
+        ids.push(
+            b.add_instance(format!("s{k}"), Arc::clone(model), None, (x, 0.0))
+                .expect("stage fits"),
+        );
+        x += widths[k];
+    }
+    for k in 0..models.len() - 1 {
+        for p in 0..models[k + 1].n_inputs() {
+            b.connect(ids[k], p % models[k].n_outputs(), ids[k + 1], p, 0.0)
+                .expect("wire");
+        }
+    }
+    for p in 0..models[0].n_inputs() {
+        b.expose_input(vec![(ids[0], p)]).expect("pi");
+    }
+    for j in 0..models.last().unwrap().n_outputs() {
+        b.expose_output(*ids.last().unwrap(), j).expect("po");
+    }
+    b.finish().expect("design")
+}

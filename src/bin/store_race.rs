@@ -1,0 +1,81 @@
+//! Worker binary for the cross-process `FsBackend` conformance test
+//! (`tests/store_race.rs`).
+//!
+//! Usage: `store_race <root> <id> <iters>`. The worker hammers a small
+//! set of keys shared with its siblings — put, get, remove — using
+//! self-consistent payloads (every byte equals the writer's tag, and
+//! the length encodes the tag too), so any torn or interleaved write
+//! is detectable by any reader. It finishes by publishing one durable
+//! per-worker key the driver asserts afterwards, prints `ok`, and
+//! exits 0. Any contract violation panics, failing the child's exit
+//! status.
+
+use hier_ssta::engine::{FsBackend, StorageBackend};
+
+/// The shared keys all workers race on.
+pub fn contended_keys() -> Vec<String> {
+    (0..4).map(|k| format!("{k:x}").repeat(64)).collect()
+}
+
+/// The per-worker durable key the driver checks for afterwards.
+pub fn durable_key(id: u8) -> String {
+    format!("{:x}", 0xa + id as u32).repeat(64)
+}
+
+/// A self-consistent payload: `100 + tag` bytes, all equal to `tag`.
+pub fn payload(tag: u8) -> Vec<u8> {
+    vec![tag; 100 + tag as usize]
+}
+
+/// Checks the all-or-nothing property: any stored artifact must be some
+/// writer's complete payload, never a mix.
+pub fn assert_consistent(key: &str, bytes: &[u8]) {
+    let tag = *bytes.first().unwrap_or_else(|| {
+        panic!("key {key}: empty artifact");
+    });
+    assert_eq!(
+        bytes.len(),
+        100 + tag as usize,
+        "key {key}: length does not match tag {tag}"
+    );
+    assert!(
+        bytes.iter().all(|&b| b == tag),
+        "key {key}: torn artifact (mixed writer tags)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, root, id, iters] = &args[..] else {
+        eprintln!("usage: store_race <root> <id> <iters>");
+        std::process::exit(2);
+    };
+    let id: u8 = id.parse().expect("numeric worker id");
+    let iters: usize = iters.parse().expect("numeric iteration count");
+    let backend = FsBackend::open(root).expect("open backend");
+    let keys = contended_keys();
+
+    for i in 0..iters {
+        let key = &keys[i % keys.len()];
+        backend.put(key, &payload(id)).expect("put");
+        if let Some(bytes) = backend.get(key).expect("get") {
+            assert_consistent(key, &bytes);
+        }
+        // A sprinkle of removals keeps the present/absent transitions
+        // racing too; absence is always a legal observation.
+        if i % 7 == id as usize % 7 {
+            backend.remove(key).expect("remove");
+        }
+        for key in backend.list_keys().expect("list") {
+            if let Some(bytes) = backend.get(&key).expect("get listed") {
+                assert_consistent(&key, &bytes);
+            }
+        }
+    }
+
+    // The durable key must survive: nobody else writes or removes it.
+    backend
+        .put(&durable_key(id), &payload(id))
+        .expect("publish");
+    println!("ok");
+}

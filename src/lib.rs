@@ -23,6 +23,11 @@
 //!   fingerprint-deduplicating parallel extraction, a scenario-sweep
 //!   batch API with single-flight dedup of concurrent extractions, and
 //!   incremental re-analysis with per-module invalidation;
+//! * [`sdf`] — SDF (IEEE 1497) interchange: a position-tracking parser
+//!   and deterministic writer for the subset the flow needs, plus a
+//!   model exchange layer that exports statistical models as min/typ/max
+//!   corners with an embedded bit-exact payload and imports foreign SDF
+//!   as interface-only approximate models;
 //! * [`serve`] — the in-process serving layer: a bounded two-lane
 //!   request queue with admission control and load shedding, a worker
 //!   pool of engines over one shared warm model store, cooperative
@@ -56,5 +61,6 @@ pub use ssta_engine as engine;
 pub use ssta_math as math;
 pub use ssta_mc as mc;
 pub use ssta_netlist as netlist;
+pub use ssta_sdf as sdf;
 pub use ssta_serve as serve;
 pub use ssta_timing as timing;

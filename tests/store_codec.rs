@@ -197,6 +197,46 @@ fn fs_backend_survives_concurrent_writers_without_torn_or_lost_artifacts() {
 }
 
 #[test]
+fn fs_backend_gc_evicts_least_recently_modified_artifacts_first() {
+    let dir = temp_dir("gc-fs");
+    let backend = FsBackend::open(&dir).expect("open");
+
+    // Three artifacts with strictly increasing mtimes and a known size
+    // each. The sleeps keep the ordering unambiguous even on coarse
+    // filesystem timestamp granularity.
+    let keys = [hex_key(b'1'), hex_key(b'2'), hex_key(b'3')];
+    for key in &keys {
+        backend.put(key, &[0u8; 1000]).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // Already under budget: nothing to do.
+    assert_eq!(backend.gc(u64::MAX).expect("gc"), 0);
+    assert_eq!(backend.health().gc_evictions, 0);
+    assert_eq!(backend.len().expect("len"), 3);
+
+    // Budget for two artifacts: the oldest one goes, newer ones stay.
+    assert_eq!(backend.gc(2000).expect("gc"), 1);
+    assert_eq!(backend.list_keys().expect("list"), keys[1..].to_vec());
+
+    // Touching the survivor that is now oldest makes it newest again,
+    // so the next collection evicts the other one.
+    backend.put(&keys[1], &[0u8; 1000]).expect("refresh");
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    assert_eq!(backend.gc(1000).expect("gc"), 1);
+    assert_eq!(backend.list_keys().expect("list"), vec![keys[1].clone()]);
+
+    // The counter surfaces through the health snapshot.
+    assert_eq!(backend.health().gc_evictions, 2);
+
+    // A zero budget clears the store entirely.
+    assert_eq!(backend.gc(0).expect("gc"), 1);
+    assert!(backend.is_empty().expect("is_empty"));
+    assert_eq!(backend.health().gc_evictions, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn boxed_and_shared_backends_pass_the_conformance_suite() {
     // The smart-pointer impls the engine relies on behave identically.
     let boxed: Box<dyn StorageBackend> = Box::new(MemoryBackend::new());
